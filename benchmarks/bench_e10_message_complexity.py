@@ -1,0 +1,69 @@
+"""E10 — Message complexity of the partial-pass streaming simulation.
+
+The reason partition trees could not previously be built deterministically in
+CONGEST is message complexity: the Congested-Clique construction exchanges
+Θ(n^2) messages.  This experiment regenerates the comparison between the
+number of words moved by (a) the Theorem 11 simulation, (b) naive state
+passing, (c) the leader-with-queries approach, and (d) the Θ(k^2) cost of
+having every vertex learn every main token (the Congested-Clique port)."""
+
+from repro.analysis import ExperimentTable
+from repro.congest.cost import CostAccountant, unit_overhead
+from repro.decomposition.cluster import build_communication_cluster
+from repro.decomposition.routing import ClusterRouter
+from repro.graphs import erdos_renyi
+from repro.streaming import (
+    MainToken,
+    SimulationPlan,
+    simulate_in_cluster,
+    simulate_leader_with_queries,
+    simulate_state_passing,
+)
+from repro.streaming.simulation import AlgorithmInstance
+
+from bench_e4_streaming_approaches import PrefixSums
+from conftest import run_once
+
+SIZES = [60, 120, 240]
+
+
+def test_e10_message_complexity(benchmark, print_section):
+    def experiment():
+        rows = []
+        for n in SIZES:
+            graph = erdos_renyi(n, 16.0, seed=10)
+            cluster = build_communication_cluster(graph, graph.edges, delta=4)
+            members = cluster.ordered_members()
+            tokens = [MainToken(index=i, owner=v, summary=i) for i, v in enumerate(members)]
+            instances = [AlgorithmInstance(algorithm=PrefixSums(len(tokens)), tokens=tokens)]
+            plan = SimulationPlan(cluster=cluster, t_max=1)
+            router = ClusterRouter(
+                cluster=cluster,
+                accountant=CostAccountant(n=cluster.n, overhead=unit_overhead()),
+            )
+            combined = simulate_in_cluster(instances, plan, router=router)
+            state = simulate_state_passing(instances, plan)
+            leader = simulate_leader_with_queries(instances, plan)
+            rows.append((n, cluster, combined, state, leader))
+        return rows
+
+    rows = run_once(benchmark, experiment)
+
+    table = ExperimentTable(
+        title="E10: words moved to run one partial-pass algorithm in a cluster",
+        columns=["k", "combined_msgs", "state_passing_msgs", "leader_msgs",
+                 "congested_clique_port"],
+    )
+    for n, cluster, combined, state, leader in rows:
+        k = cluster.k
+        table.add_row(
+            f"n={n}",
+            k=k,
+            combined_msgs=combined.messages,
+            state_passing_msgs=state.messages,
+            leader_msgs=leader.messages,
+            congested_clique_port=k * k,
+        )
+        # The whole point: far fewer messages than the Theta(k^2) port.
+        assert combined.messages < k * k
+    print_section(table.render())

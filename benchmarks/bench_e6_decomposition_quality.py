@@ -1,0 +1,58 @@
+"""E6 — Theorem 5 / Lemma 8: the deterministic expander decomposition leaves
+at most an ~epsilon fraction of edges uncovered, its clusters are certified
+well-connected, and the recursion over the residual edges has logarithmic
+depth."""
+
+from repro.analysis import ExperimentTable
+from repro.decomposition.expander import expander_decompose, recursive_decomposition_schedule
+from repro.graphs import clustered_communities, erdos_renyi, power_law
+
+from conftest import run_once
+
+EPSILONS = [0.1, 0.2, 0.4]
+
+WORKLOADS = {
+    "communities": lambda: clustered_communities(6, 20, intra_p=0.5, inter_p=0.03, seed=4),
+    "erdos-renyi": lambda: erdos_renyi(150, 12.0, seed=4),
+    "power-law": lambda: power_law(150, avg_degree=10.0, seed=4),
+}
+
+
+def test_e6_decomposition_quality(benchmark, print_section):
+    def experiment():
+        rows = []
+        for name, build in WORKLOADS.items():
+            graph = build()
+            for epsilon in EPSILONS:
+                decomposition = expander_decompose(graph, epsilon=epsilon)
+                decomposition.validate()
+                depth = len(list(recursive_decomposition_schedule(graph, epsilon=epsilon)))
+                rows.append((name, epsilon, graph, decomposition, depth))
+        return rows
+
+    rows = run_once(benchmark, experiment)
+
+    table = ExperimentTable(
+        title="E6: deterministic expander decomposition quality",
+        columns=["epsilon", "clusters", "remainder_fraction", "phi_threshold",
+                 "min_cluster_phi", "recursion_depth"],
+    )
+    for name, epsilon, graph, decomposition, depth in rows:
+        min_phi = min(
+            (cluster.conductance_lower_bound for cluster in decomposition.clusters
+             if cluster.num_vertices > 2),
+            default=1.0,
+        )
+        table.add_row(
+            f"{name} eps={epsilon}",
+            epsilon=epsilon,
+            clusters=decomposition.num_clusters,
+            remainder_fraction=decomposition.remainder_fraction(),
+            phi_threshold=decomposition.phi,
+            min_cluster_phi=min_phi,
+            recursion_depth=depth,
+        )
+        assert decomposition.remainder_fraction() <= 3 * epsilon
+        assert min_phi >= decomposition.phi * 0.99
+        assert depth <= 2 * graph.number_of_edges().bit_length() + 4
+    print_section(table.render())

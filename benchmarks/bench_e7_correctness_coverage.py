@@ -1,0 +1,51 @@
+"""E7 — Listing correctness and duplication across workloads and clique sizes.
+
+Every K_p instance must be reported at least once (Theorem 1 is a listing
+guarantee); the duplication factor (reports per distinct clique) stays a
+small constant because each clique is charged to the clusters containing its
+edges, of which there are O(1) per recursion level.
+"""
+
+from repro import list_cliques, validate_listing
+from repro.analysis import ExperimentTable
+from repro.graphs import clustered_communities, erdos_renyi, planted_cliques, power_law
+
+from conftest import run_once
+
+WORKLOADS = {
+    "erdos-renyi": lambda: erdos_renyi(90, 14.0, seed=7),
+    "planted-cliques": lambda: planted_cliques(90, 5, 8, background_avg_degree=4.0, seed=7),
+    "communities": lambda: clustered_communities(4, 20, intra_p=0.5, inter_p=0.03, seed=7),
+    "power-law": lambda: power_law(90, avg_degree=8.0, seed=7),
+}
+
+
+def test_e7_correctness_and_duplication(benchmark, print_section):
+    def experiment():
+        rows = []
+        for name, build in WORKLOADS.items():
+            graph = build()
+            for p in (3, 4, 5):
+                result = list_cliques(graph, p)
+                report = validate_listing(graph, result)
+                rows.append((name, p, result, report))
+        return rows
+
+    rows = run_once(benchmark, experiment)
+
+    table = ExperimentTable(
+        title="E7: coverage and duplication of the deterministic listing",
+        columns=["expected", "listed", "missing", "spurious", "duplication", "rounds"],
+    )
+    for name, p, result, report in rows:
+        table.add_row(
+            f"{name} K{p}",
+            expected=report.expected,
+            listed=report.listed,
+            missing=len(report.missing),
+            spurious=len(report.spurious),
+            duplication=round(report.duplication_factor, 2),
+            rounds=result.rounds,
+        )
+        assert report.correct, report.summary()
+    print_section(table.render())

@@ -1,0 +1,48 @@
+"""E9 — [DLP12]: deterministic K_p listing in the Congested Clique in
+O(n^{1-2/p}/log n) rounds.  The paper lifts this load-balancing strategy into
+CONGEST; this experiment regenerates the Congested-Clique reference curve the
+CONGEST algorithms are measured against."""
+
+from repro.analysis import ExperimentTable, fit_power_law, predicted_exponent
+from repro.baselines import congested_clique_listing
+from repro.graphs import enumerate_cliques, erdos_renyi
+
+from conftest import run_once
+
+SIZES = [64, 128, 256]
+
+
+def test_e9_congested_clique_listing(benchmark, print_section):
+    def experiment():
+        rows = []
+        for p in (3, 4):
+            for n in SIZES:
+                graph = erdos_renyi(n, 0.3 * n, seed=9)
+                result, report = congested_clique_listing(graph, p=p)
+                assert result.cliques == enumerate_cliques(graph, p)
+                rows.append((p, n, result, report))
+        return rows
+
+    rows = run_once(benchmark, experiment)
+
+    table = ExperimentTable(
+        title="E9: DLP12 deterministic listing in the Congested Clique",
+        columns=["rounds", "max_words_per_vertex", "theoretical_rounds"],
+    )
+    for p in (3, 4):
+        measured = []
+        for row_p, n, result, report in rows:
+            if row_p != p:
+                continue
+            measured.append(max(1, result.rounds))
+            table.add_row(
+                f"p={p}, n={n}",
+                rounds=result.rounds,
+                max_words_per_vertex=report.max_words_per_vertex,
+                theoretical_rounds=round(report.theoretical_rounds, 1),
+            )
+        fit = fit_power_law(SIZES, measured)
+        # Congested-Clique rounds grow like n^{1-2/p} (the instances are dense,
+        # so the load is close to worst case).
+        assert fit.exponent < predicted_exponent(p) + 0.75
+    print_section(table.render())

@@ -1,0 +1,30 @@
+"""Shared helpers for the benchmark harness (experiments E1-E10)."""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    The experiments measure *round complexity* (a deterministic model
+    quantity), so repeating them only costs wall-clock time; a single timed
+    execution is enough and keeps the harness fast.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def cluster_rounds(result) -> int:
+    """Per-level cluster-listing cost: the term that carries the n^{1-2/p} shape."""
+    return sum(report.max_cluster_rounds for report in result.level_reports)
+
+
+@pytest.fixture(scope="session")
+def print_section():
+    """Print a table with surrounding blank lines so it survives pytest capture."""
+
+    def _print(text: str) -> None:
+        print("\n" + text + "\n")
+
+    return _print

@@ -1,0 +1,41 @@
+"""Motif counting on a community-structured (social-network-like) graph.
+
+The introduction of the paper motivates clique listing by the need to
+classify connections in large graphs: triangles and small cliques are the
+basic cohesion motifs of social networks.  This example runs the
+deterministic listing algorithms for K3, K4 and K5 on a planted-partition
+graph, cross-checks the counts against a centralized enumeration, and shows
+how the work splits over the expander-decomposition clusters.
+
+Run with::
+
+    python examples/social_network_motifs.py
+"""
+
+from repro import list_cliques, validate_listing
+from repro.graphs import clustered_communities, count_cliques
+
+
+def main() -> None:
+    graph = clustered_communities(
+        num_communities=5, community_size=18, intra_p=0.45, inter_p=0.02, seed=7
+    )
+    print(f"social graph: {graph.number_of_nodes()} members, "
+          f"{graph.number_of_edges()} friendships\n")
+
+    for p in (3, 4, 5):
+        result = list_cliques(graph, p)
+        report = validate_listing(graph, result)
+        assert report.correct, report.summary()
+        print(f"K_{p} motifs: {len(result.cliques):>6d}  "
+              f"(ground truth {count_cliques(graph, p)}, "
+              f"rounds {result.rounds}, levels {result.levels})")
+        for level in result.level_reports:
+            print(f"    level {level.level}: {level.clusters} clusters, "
+                  f"{level.handled_edges} edges finished, "
+                  f"max cluster cost {level.max_cluster_rounds} rounds")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim so editable installs work without the wheel package.
+
+The environment this reproduction targets is fully offline; ``pip`` cannot
+fetch ``wheel`` for PEP 517 editable builds, so we keep a legacy ``setup.py``
+alongside ``pyproject.toml`` and install with ``--no-use-pep517``.
+"""
+
+from setuptools import setup
+
+setup()

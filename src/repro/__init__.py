@@ -1,0 +1,37 @@
+"""Reference implementation of *Deterministic Near-Optimal Distributed Listing
+of Cliques* (Censor-Hillel, Leitersdorf, Vulakh -- PODC 2022).
+
+The public API re-exports the main entry points:
+
+* :func:`repro.list_cliques` / :func:`repro.list_triangles` -- the paper's
+  deterministic CONGEST listing algorithms (Theorems 32 and 36) with full
+  round accounting.
+* :func:`repro.validate_listing` -- coverage check against ground truth.
+* :mod:`repro.graphs` -- workload generators and structural utilities.
+* :mod:`repro.congest`, :mod:`repro.decomposition`, :mod:`repro.streaming`,
+  :mod:`repro.partition_trees` -- the substrates the algorithms are built on.
+* :mod:`repro.baselines` -- the algorithms the paper compares against.
+"""
+
+from repro.listing import (
+    ListingResult,
+    TriangleListing,
+    CliqueListing,
+    list_cliques,
+    list_triangles,
+    validate_listing,
+)
+from repro.listing.validation import CoverageReport
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ListingResult",
+    "TriangleListing",
+    "CliqueListing",
+    "list_cliques",
+    "list_triangles",
+    "validate_listing",
+    "CoverageReport",
+    "__version__",
+]

@@ -1,0 +1,19 @@
+"""Analysis utilities: scaling-exponent fits and experiment reporting."""
+
+from repro.analysis.complexity import (
+    ScalingFit,
+    fit_power_law,
+    predicted_exponent,
+    normalized_rounds,
+)
+from repro.analysis.reporting import ExperimentRow, ExperimentTable, format_table
+
+__all__ = [
+    "ScalingFit",
+    "fit_power_law",
+    "predicted_exponent",
+    "normalized_rounds",
+    "ExperimentRow",
+    "ExperimentTable",
+    "format_table",
+]

@@ -1,0 +1,66 @@
+"""Scaling-exponent analysis of measured round complexities.
+
+The paper's claims are asymptotic (``n^{1-2/p+o(1)}`` rounds).  The
+benchmarks measure rounds over a sweep of ``n`` and fit ``rounds ~ C * n^e``
+by least squares in log-log space; :func:`predicted_exponent` gives the
+target ``1 - 2/p`` to compare against, and :func:`normalized_rounds` strips
+the explicit routing-overhead factor so the fit isolates the combinatorial
+load.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.congest.cost import RoutingOverhead
+
+
+@dataclass(frozen=True)
+class ScalingFit:
+    """Least-squares power-law fit ``y ~ C * x^exponent``.
+
+    Attributes:
+        exponent: fitted exponent ``e``.
+        constant: fitted constant ``C``.
+        r_squared: coefficient of determination of the log-log fit.
+    """
+
+    exponent: float
+    constant: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        return self.constant * (x ** self.exponent)
+
+
+def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> ScalingFit:
+    """Fit ``y = C * x^e`` by linear regression in log-log space."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have the same length")
+    pairs = [(x, y) for x, y in zip(xs, ys) if x > 0 and y > 0]
+    if len(pairs) < 2:
+        raise ValueError("need at least two positive data points to fit")
+    log_x = np.array([math.log(x) for x, _ in pairs])
+    log_y = np.array([math.log(y) for _, y in pairs])
+    slope, intercept = np.polyfit(log_x, log_y, 1)
+    predictions = slope * log_x + intercept
+    residual = float(np.sum((log_y - predictions) ** 2))
+    total = float(np.sum((log_y - np.mean(log_y)) ** 2))
+    r_squared = 1.0 - residual / total if total > 0 else 1.0
+    return ScalingFit(exponent=float(slope), constant=float(math.exp(intercept)), r_squared=r_squared)
+
+
+def predicted_exponent(p: int) -> float:
+    """The paper's round-complexity exponent for ``K_p`` listing: ``1 - 2/p``."""
+    if p < 3:
+        raise ValueError("clique size must be at least 3")
+    return 1.0 - 2.0 / p
+
+
+def normalized_rounds(rounds: float, n: int, overhead: RoutingOverhead) -> float:
+    """Divide measured rounds by the explicit ``n^{o(1)}`` overhead factor."""
+    return rounds / overhead(max(2, n))

@@ -1,0 +1,57 @@
+"""Plain-text experiment tables (the benchmark harness prints these)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+
+@dataclass
+class ExperimentRow:
+    """One row of an experiment table: label plus column values."""
+
+    label: str
+    values: dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class ExperimentTable:
+    """A named table with fixed column order, printable as aligned text."""
+
+    title: str
+    columns: list[str]
+    rows: list[ExperimentRow] = field(default_factory=list)
+
+    def add_row(self, label: str, **values: object) -> None:
+        unknown = set(values) - set(self.columns)
+        if unknown:
+            raise KeyError(f"unknown columns {sorted(unknown)}; declared {self.columns}")
+        self.rows.append(ExperimentRow(label=label, values=dict(values)))
+
+    def render(self) -> str:
+        return format_table(self)
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3g}"
+    return str(value)
+
+
+def format_table(table: ExperimentTable) -> str:
+    """Render an :class:`ExperimentTable` as aligned monospace text."""
+    header = ["case"] + table.columns
+    body = [
+        [row.label] + [_format_value(row.values.get(column, "")) for column in table.columns]
+        for row in table.rows
+    ]
+    widths = [
+        max(len(header[i]), *(len(line[i]) for line in body)) if body else len(header[i])
+        for i in range(len(header))
+    ]
+    lines = [f"== {table.title} =="]
+    lines.append("  ".join(header[i].ljust(widths[i]) for i in range(len(header))))
+    lines.append("  ".join("-" * widths[i] for i in range(len(header))))
+    for line in body:
+        lines.append("  ".join(line[i].ljust(widths[i]) for i in range(len(header))))
+    return "\n".join(lines)

@@ -1,0 +1,31 @@
+"""Baseline algorithms the paper compares against.
+
+* :mod:`repro.baselines.naive` -- trivial CONGEST listing strategies
+  (full neighbourhood exchange), including a faithful per-vertex simulator
+  algorithm for small graphs.
+* :mod:`repro.baselines.randomized` -- the randomized load-balanced listing
+  in the style of [CPSZ21]/[CHCLL21]: random vertex partition, each vertex
+  learns the edges between an assigned tuple of parts.
+* :mod:`repro.baselines.congested_clique` -- the deterministic
+  Dolev–Lenzen–Peled ``K_p`` listing in the Congested Clique [DLP12].
+* :mod:`repro.baselines.chang_saranurak` -- the previous deterministic
+  state of the art for CONGEST triangle listing (``n^{2/3+o(1)}`` rounds,
+  [CS20]), modelled as the same recursion with the load balancing the paper
+  improves on.
+"""
+
+from repro.baselines.naive import (
+    NeighborhoodExchangeTriangles,
+    naive_listing,
+)
+from repro.baselines.randomized import randomized_partition_listing
+from repro.baselines.congested_clique import congested_clique_listing
+from repro.baselines.chang_saranurak import cs20_triangle_listing
+
+__all__ = [
+    "NeighborhoodExchangeTriangles",
+    "naive_listing",
+    "randomized_partition_listing",
+    "congested_clique_listing",
+    "cs20_triangle_listing",
+]

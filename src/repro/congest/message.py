@@ -1,0 +1,110 @@
+"""Messages in the CONGEST model.
+
+The CONGEST model allows each vertex to send one message of ``O(log n)`` bits
+over each incident edge per synchronous round.  We model a *machine word* as
+``ceil(log2 n)`` bits (with a small constant floor) and measure every payload
+in words so that both the faithful simulator and the cost-model executor can
+charge rounds consistently.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Hashable
+
+
+def word_size_bits(n: int) -> int:
+    """Number of bits in one CONGEST word for an ``n``-vertex network.
+
+    The model allows ``O(log n)`` bits per message; we use ``ceil(log2 n)``
+    with a floor of 8 bits so that tiny test networks still have a sensible
+    word size.
+    """
+    if n < 2:
+        return 8
+    return max(8, math.ceil(math.log2(n)))
+
+
+def words_for_payload(payload: Any, n: int) -> int:
+    """Number of CONGEST words needed to encode ``payload``.
+
+    The encoding rules are deliberately simple and conservative:
+
+    * ``None`` costs 1 word,
+    * integers and floats cost 1 word each (vertex identifiers, degrees and
+      counters all fit in ``O(log n)`` bits),
+    * strings cost 1 word per ``word_size_bits(n) / 8`` bytes,
+    * tuples / lists / sets cost the sum of their elements plus 1 word of
+      framing,
+    * dicts cost the sum over key/value pairs plus 1 word of framing.
+    """
+    wsize = word_size_bits(n)
+    if payload is None:
+        return 1
+    if isinstance(payload, bool):
+        return 1
+    if isinstance(payload, (int, float)):
+        return 1
+    if isinstance(payload, str):
+        return max(1, math.ceil(len(payload.encode()) * 8 / wsize))
+    if isinstance(payload, (tuple, list, set, frozenset)):
+        return 1 + sum(words_for_payload(item, n) for item in payload)
+    if isinstance(payload, dict):
+        return 1 + sum(
+            words_for_payload(key, n) + words_for_payload(value, n)
+            for key, value in payload.items()
+        )
+    # Fallback: charge by repr length, which over-counts rather than
+    # under-counts unknown payloads.
+    return max(1, math.ceil(len(repr(payload).encode()) * 8 / wsize))
+
+
+def message_size_bits(payload: Any, n: int) -> int:
+    """Size of ``payload`` in bits for an ``n``-vertex network."""
+    return words_for_payload(payload, n) * word_size_bits(n)
+
+
+@dataclass(frozen=True)
+class Message:
+    """A single CONGEST message.
+
+    Attributes:
+        sender: vertex identifier of the sending vertex.
+        receiver: vertex identifier of the receiving vertex.
+        tag: small string identifying the protocol step the message belongs
+            to (useful when several sub-protocols run in parallel).
+        payload: arbitrary, picklable payload.  A message whose payload does
+            not fit in one word is split into multiple single-word messages
+            by the simulator (fragmentation), which is what a real CONGEST
+            algorithm would have to do.
+    """
+
+    sender: Hashable
+    receiver: Hashable
+    tag: str = ""
+    payload: Any = None
+
+    def words(self, n: int) -> int:
+        """Number of CONGEST words this message occupies."""
+        return words_for_payload(self.payload, n)
+
+
+@dataclass
+class Inbox:
+    """Per-round inbox of a vertex in the faithful simulator."""
+
+    messages: list[Message] = field(default_factory=list)
+
+    def by_tag(self, tag: str) -> list[Message]:
+        """Messages carrying the given protocol tag."""
+        return [m for m in self.messages if m.tag == tag]
+
+    def clear(self) -> None:
+        self.messages.clear()
+
+    def __iter__(self):
+        return iter(self.messages)
+
+    def __len__(self) -> int:
+        return len(self.messages)

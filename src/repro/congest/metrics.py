@@ -1,0 +1,70 @@
+"""Round and message accounting shared by both execution modes."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CongestMetrics:
+    """Counters for a CONGEST execution.
+
+    Both the faithful synchronous simulator (:mod:`repro.congest.network`)
+    and the cost-accounted executor (:mod:`repro.congest.cost`) update the
+    same counter object, so the listing algorithms can be instrumented once.
+
+    Attributes:
+        rounds: total number of synchronous rounds used.
+        messages: total number of (word-sized) messages delivered.
+        words: total number of machine words transferred (>= messages when
+            payloads are fragmented).
+        phase_rounds: rounds attributed to named protocol phases.
+        phase_messages: messages attributed to named protocol phases.
+    """
+
+    rounds: int = 0
+    messages: int = 0
+    words: int = 0
+    phase_rounds: dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    phase_messages: dict[str, int] = field(default_factory=lambda: defaultdict(int))
+
+    def add_rounds(self, rounds: int, phase: str = "unattributed") -> None:
+        """Charge ``rounds`` synchronous rounds to ``phase``."""
+        if rounds < 0:
+            raise ValueError(f"cannot charge a negative number of rounds: {rounds}")
+        self.rounds += rounds
+        self.phase_rounds[phase] += rounds
+
+    def add_messages(self, messages: int, phase: str = "unattributed", words: int | None = None) -> None:
+        """Charge ``messages`` delivered messages (and ``words`` words)."""
+        if messages < 0:
+            raise ValueError(f"cannot charge a negative number of messages: {messages}")
+        self.messages += messages
+        self.words += words if words is not None else messages
+        self.phase_messages[phase] += messages
+
+    def merge(self, other: "CongestMetrics") -> None:
+        """Fold the counters of ``other`` into this object."""
+        self.rounds += other.rounds
+        self.messages += other.messages
+        self.words += other.words
+        for phase, value in other.phase_rounds.items():
+            self.phase_rounds[phase] += value
+        for phase, value in other.phase_messages.items():
+            self.phase_messages[phase] += value
+
+    def snapshot(self) -> dict[str, int]:
+        """A plain-dict summary, convenient for benchmark reporting."""
+        return {
+            "rounds": self.rounds,
+            "messages": self.messages,
+            "words": self.words,
+        }
+
+    def reset(self) -> None:
+        self.rounds = 0
+        self.messages = 0
+        self.words = 0
+        self.phase_rounds.clear()
+        self.phase_messages.clear()

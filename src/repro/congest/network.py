@@ -1,0 +1,171 @@
+"""Faithful synchronous CONGEST simulator.
+
+The simulator delivers messages edge-by-edge with the bandwidth constraint of
+the model: per round, per directed edge, at most one machine word crosses.
+Payloads larger than one word are fragmented transparently and the fragments
+are queued on the edge, exactly the way a real CONGEST algorithm would have
+to stretch a large transfer over multiple rounds.
+
+This executor is intended for validation on small graphs (hundreds of
+vertices); the scaling experiments use :mod:`repro.congest.cost`.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Iterable, Mapping
+
+import networkx as nx
+
+from repro.congest.message import Message, words_for_payload
+from repro.congest.metrics import CongestMetrics
+from repro.congest.vertex import VertexAlgorithm
+
+VertexFactory = Callable[[Hashable, Iterable[Hashable], int], VertexAlgorithm]
+
+
+@dataclass
+class SynchronousRun:
+    """Result of driving a :class:`CongestNetwork` to completion.
+
+    Attributes:
+        rounds: number of synchronous rounds executed.
+        metrics: full round/message accounting.
+        outputs: per-vertex ``output`` attribute after termination.
+        halted: whether every vertex halted (as opposed to hitting the
+            round limit).
+    """
+
+    rounds: int
+    metrics: CongestMetrics
+    outputs: dict[Hashable, object]
+    halted: bool
+
+    def combined_output(self) -> set:
+        """Union of all per-vertex outputs that are sets (listing results)."""
+        combined: set = set()
+        for value in self.outputs.values():
+            if isinstance(value, (set, frozenset, list, tuple)):
+                combined.update(value)
+        return combined
+
+
+class CongestNetwork:
+    """A synchronous message-passing network over an undirected graph."""
+
+    def __init__(self, graph: nx.Graph, metrics: CongestMetrics | None = None):
+        if graph.number_of_nodes() == 0:
+            raise ValueError("cannot build a CONGEST network over an empty graph")
+        self.graph = graph
+        self.n = graph.number_of_nodes()
+        self.metrics = metrics if metrics is not None else CongestMetrics()
+        # Per directed edge FIFO of outstanding word fragments.
+        self._edge_queues: dict[tuple[Hashable, Hashable], deque] = defaultdict(deque)
+
+    # -- driving an algorithm ------------------------------------------------
+
+    def run(
+        self,
+        factory: VertexFactory,
+        max_rounds: int = 10_000,
+        phase: str = "simulated",
+    ) -> SynchronousRun:
+        """Instantiate ``factory`` on every vertex and run to termination.
+
+        Args:
+            factory: called as ``factory(vertex, neighbors, n)`` for every
+                vertex of the graph.
+            max_rounds: safety cap on the number of synchronous rounds.
+            phase: metrics phase to charge rounds and messages to.
+
+        Returns:
+            A :class:`SynchronousRun` with metrics and per-vertex outputs.
+        """
+        algorithms: dict[Hashable, VertexAlgorithm] = {
+            v: factory(v, self.graph.neighbors(v), self.n) for v in self.graph.nodes
+        }
+        inboxes: dict[Hashable, list[Message]] = {v: [] for v in algorithms}
+        self._edge_queues.clear()
+
+        rounds_executed = 0
+        for round_index in range(max_rounds):
+            if all(alg.halted for alg in algorithms.values()) and not self._has_pending():
+                break
+            rounds_executed += 1
+            outgoing: list[Message] = []
+            for vertex, algorithm in algorithms.items():
+                if algorithm.halted:
+                    continue
+                sent = algorithm.on_round(round_index, inboxes[vertex])
+                inboxes[vertex] = []
+                for message in sent:
+                    if message.sender != vertex:
+                        raise ValueError(
+                            f"vertex {vertex!r} attempted to forge sender {message.sender!r}"
+                        )
+                    if not self.graph.has_edge(vertex, message.receiver):
+                        raise ValueError(
+                            f"vertex {vertex!r} attempted to send to non-neighbour "
+                            f"{message.receiver!r}"
+                        )
+                    outgoing.append(message)
+
+            self._enqueue(outgoing)
+            delivered = self._deliver_one_round()
+            for message in delivered:
+                inboxes[message.receiver].append(message)
+            self.metrics.add_rounds(1, phase=phase)
+            self.metrics.add_messages(len(delivered), phase=phase, words=len(delivered))
+        else:
+            rounds_executed = max_rounds
+
+        outputs = {v: alg.output for v, alg in algorithms.items()}
+        halted = all(alg.halted for alg in algorithms.values())
+        return SynchronousRun(
+            rounds=rounds_executed,
+            metrics=self.metrics,
+            outputs=outputs,
+            halted=halted,
+        )
+
+    # -- bandwidth-constrained delivery ---------------------------------------
+
+    def _enqueue(self, outgoing: Iterable[Message]) -> None:
+        """Fragment messages into words and append them to edge queues."""
+        for message in outgoing:
+            edge = (message.sender, message.receiver)
+            fragments = words_for_payload(message.payload, self.n)
+            # The final fragment carries the payload; preceding fragments are
+            # placeholder words.  This preserves both delivery semantics (the
+            # receiver acts on the payload once it has fully arrived) and the
+            # bandwidth accounting (``fragments`` words cross the edge).
+            for _ in range(fragments - 1):
+                self._edge_queues[edge].append(None)
+            self._edge_queues[edge].append(message)
+
+    def _deliver_one_round(self) -> list[Message]:
+        """Pop at most one word per directed edge; return completed messages."""
+        delivered: list[Message] = []
+        for edge, queue in self._edge_queues.items():
+            if not queue:
+                continue
+            item = queue.popleft()
+            if isinstance(item, Message):
+                delivered.append(item)
+        return delivered
+
+    def _has_pending(self) -> bool:
+        return any(queue for queue in self._edge_queues.values())
+
+
+def run_algorithm(
+    graph: nx.Graph,
+    factory: VertexFactory,
+    max_rounds: int = 10_000,
+    phase: str = "simulated",
+    metrics: CongestMetrics | None = None,
+) -> SynchronousRun:
+    """Convenience wrapper: build a network and run ``factory`` on it."""
+    network = CongestNetwork(graph, metrics=metrics)
+    return network.run(factory, max_rounds=max_rounds, phase=phase)

@@ -1,0 +1,79 @@
+"""Per-vertex algorithm interface for the faithful CONGEST simulator.
+
+A distributed algorithm in CONGEST is specified by the code every vertex runs
+each round: examine the messages received in the previous round, update local
+state, and emit at most one word-sized message per incident edge.  The
+:class:`VertexAlgorithm` base class captures this contract; concrete
+algorithms (broadcast, BFS, exhaustive neighbourhood collection, triangle
+listing by local search, ...) subclass it.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Hashable, Iterable
+
+from repro.congest.message import Message
+
+
+class VertexAlgorithm(ABC):
+    """The code a single vertex executes in the synchronous simulator.
+
+    Subclasses implement :meth:`on_round`.  The simulator instantiates one
+    object per vertex and drives all of them in lockstep.
+
+    Attributes:
+        vertex: this vertex's identifier.
+        neighbors: sorted tuple of neighbour identifiers (the local port
+            view every CONGEST vertex starts with).
+        n: number of vertices in the network, known to every vertex as is
+            standard in CONGEST.
+        halted: set to ``True`` by the algorithm when the vertex has
+            terminated locally.  The run finishes when every vertex halts or
+            the round limit is reached.
+        output: arbitrary local output (for listing algorithms: the set of
+            cliques this vertex reports).
+    """
+
+    def __init__(self, vertex: Hashable, neighbors: Iterable[Hashable], n: int):
+        self.vertex = vertex
+        self.neighbors = tuple(sorted(neighbors))
+        self.n = n
+        self.halted = False
+        self.output: Any = None
+
+    @abstractmethod
+    def on_round(self, round_index: int, inbox: list[Message]) -> list[Message]:
+        """Process one synchronous round.
+
+        Args:
+            round_index: zero-based index of the current round.
+            inbox: messages delivered to this vertex at the start of the
+                round (sent by neighbours in the previous round).
+
+        Returns:
+            Messages to send this round.  Each message must address a
+            neighbour; the simulator enforces the one-message-per-edge
+            bandwidth constraint by fragmenting and queueing payloads.
+        """
+
+    def halt(self) -> None:
+        """Mark this vertex as locally terminated."""
+        self.halted = True
+
+    # -- convenience helpers -------------------------------------------------
+
+    def send_to_all_neighbors(self, tag: str, payload: Any) -> list[Message]:
+        """Build one identical message per incident edge."""
+        return [
+            Message(sender=self.vertex, receiver=u, tag=tag, payload=payload)
+            for u in self.neighbors
+        ]
+
+    def send(self, receiver: Hashable, tag: str, payload: Any) -> Message:
+        """Build a single message to ``receiver`` (must be a neighbour)."""
+        if receiver not in self.neighbors:
+            raise ValueError(
+                f"vertex {self.vertex!r} cannot send directly to non-neighbour {receiver!r}"
+            )
+        return Message(sender=self.vertex, receiver=receiver, tag=tag, payload=payload)

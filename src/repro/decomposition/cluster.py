@@ -1,0 +1,315 @@
+"""Communication clusters (Definitions 7, 15, 24, 25 of the paper).
+
+A ``(φ, δ)``-communication cluster is a high-conductance cluster together
+with a designated subset ``V_C^-`` of vertices whose communication degree is
+at least ``δ``; these are the vertices that participate in the heavy
+load-balancing machinery.  For triangle listing ``δ = K^{1/3}`` (Definition
+15); for ``K_p`` listing with ``p > 3``, ``δ = n^{1-2/p}`` and the cluster
+additionally carries the imported edge sets ``E_bar`` (edges from outside
+into ``V_C^-``) and ``E'`` (edges entirely outside the cluster) together with
+the ``deg*`` bookkeeping (Definition 24).
+
+The helper functions :func:`core_vertices`, :func:`core_edge_set` and
+:func:`augmented_edge_set` implement the ``V_C^\\circ``, ``E_i^-`` and
+``E_i^+`` constructions of Section 2 / Lemma 33 (the sets of vertices that
+have the majority of their edges inside their cluster, the edges between two
+such vertices, and the cluster edges augmented with all edges among core
+vertices).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import networkx as nx
+
+Edge = tuple[int, int]
+DirectedEdge = tuple[int, int]
+
+
+def _canonical_edge(u: int, v: int) -> Edge:
+    return (u, v) if u <= v else (v, u)
+
+
+# ---------------------------------------------------------------------------
+# Section 2 constructions: V°, E^- and E^+
+# ---------------------------------------------------------------------------
+
+
+def core_vertices(graph: nx.Graph, cluster_edges: Iterable[Edge]) -> set[int]:
+    """``V_C^\\circ``: vertices with at least half their edges inside the cluster.
+
+    Formally (Section 2): vertices ``v`` of the cluster with
+    ``deg_{E_i}(v) >= deg_{E \\ E_i}(v)``.
+    """
+    cluster_edges = {_canonical_edge(*e) for e in cluster_edges}
+    degree_inside: dict[int, int] = {}
+    for u, v in cluster_edges:
+        degree_inside[u] = degree_inside.get(u, 0) + 1
+        degree_inside[v] = degree_inside.get(v, 0) + 1
+    core: set[int] = set()
+    for vertex, inside in degree_inside.items():
+        total = graph.degree(vertex)
+        if inside >= total - inside:
+            core.add(vertex)
+    return core
+
+
+def core_edge_set(graph: nx.Graph, cluster_edges: Iterable[Edge]) -> set[Edge]:
+    """``E_i^-``: cluster edges whose both endpoints are core vertices."""
+    cluster_edges = {_canonical_edge(*e) for e in cluster_edges}
+    core = core_vertices(graph, cluster_edges)
+    return {e for e in cluster_edges if e[0] in core and e[1] in core}
+
+
+def augmented_edge_set(graph: nx.Graph, cluster_edges: Iterable[Edge]) -> set[Edge]:
+    """``E_i^+ = E_i ∪ E(V_i^\\circ, V_i^\\circ)``: cluster edges plus all
+    graph edges between core vertices (Section 6.1)."""
+    cluster_edges = {_canonical_edge(*e) for e in cluster_edges}
+    core = core_vertices(graph, cluster_edges)
+    augmented = set(cluster_edges)
+    for u in core:
+        for w in graph.neighbors(u):
+            if w in core:
+                augmented.add(_canonical_edge(u, w))
+    return augmented
+
+
+# ---------------------------------------------------------------------------
+# (φ, δ)-communication clusters
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CommunicationCluster:
+    """A ``(φ, δ)``-communication cluster (Definition 7).
+
+    Attributes:
+        graph: the ambient graph ``G``.
+        cluster_graph: the cluster ``C = (V_C, E_C)`` as a subgraph.
+        delta: the degree threshold ``δ``.
+        phi: certified conductance lower bound of the cluster.
+        v_minus: the designated subset ``V_C^-`` of vertices with
+            communication degree at least ``δ``.
+    """
+
+    graph: nx.Graph
+    cluster_graph: nx.Graph
+    delta: float
+    phi: float
+    v_minus: frozenset[int] = field(init=False)
+
+    def __post_init__(self) -> None:
+        members = {
+            v
+            for v in self.cluster_graph.nodes
+            if self.cluster_graph.degree(v) >= self.delta
+        }
+        self.v_minus = frozenset(members)
+
+    # -- notation from Definition 7 ------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """``n = |V|`` of the ambient graph."""
+        return self.graph.number_of_nodes()
+
+    @property
+    def big_k(self) -> int:
+        """``K = |V_C|``."""
+        return self.cluster_graph.number_of_nodes()
+
+    @property
+    def k(self) -> int:
+        """``k = |V_C^-|``."""
+        return len(self.v_minus)
+
+    def communication_degree(self, vertex: int) -> int:
+        """``deg_C(v)``: number of cluster edges incident to ``v``."""
+        return self.cluster_graph.degree(vertex)
+
+    @property
+    def mu(self) -> float:
+        """Average communication degree ``μ`` of ``V_C^-`` vertices."""
+        if not self.v_minus:
+            return 0.0
+        return sum(self.communication_degree(v) for v in self.v_minus) / self.k
+
+    @property
+    def v_star(self) -> frozenset[int]:
+        """``V_C^*``: the ``V_C^-`` vertices with at least half-average degree."""
+        threshold = self.mu / 2.0
+        return frozenset(
+            v for v in self.v_minus if self.communication_degree(v) >= threshold
+        )
+
+    @property
+    def v_low(self) -> frozenset[int]:
+        """``V_C^L = V_C \\ V_C^-``: the low-degree cluster vertices."""
+        return frozenset(set(self.cluster_graph.nodes) - set(self.v_minus))
+
+    def core_edges(self) -> set[Edge]:
+        """Edges of the cluster between two ``V_C^-`` vertices."""
+        return {
+            _canonical_edge(u, v)
+            for u, v in self.cluster_graph.edges
+            if u in self.v_minus and v in self.v_minus
+        }
+
+    def ordered_members(self) -> list[int]:
+        """``V_C^-`` sorted by identifier (the contiguous numbering the
+        streaming simulation relies on)."""
+        return sorted(self.v_minus)
+
+    def validate(self) -> None:
+        """Sanity checks on the Definition 7 invariants."""
+        for vertex in self.v_minus:
+            assert self.communication_degree(vertex) >= self.delta, (
+                f"vertex {vertex} in V^- has communication degree "
+                f"{self.communication_degree(vertex)} < delta={self.delta}"
+            )
+        assert set(self.cluster_graph.nodes) <= set(self.graph.nodes)
+
+
+def build_communication_cluster(
+    graph: nx.Graph,
+    cluster_edges: Iterable[Edge],
+    delta: float,
+    phi: float = 0.0,
+) -> CommunicationCluster:
+    """Build a :class:`CommunicationCluster` from an edge set of ``graph``."""
+    edges = [_canonical_edge(*e) for e in cluster_edges]
+    cluster_graph = nx.Graph()
+    cluster_graph.add_edges_from(edges)
+    return CommunicationCluster(
+        graph=graph, cluster_graph=cluster_graph, delta=delta, phi=phi
+    )
+
+
+# ---------------------------------------------------------------------------
+# K3-compatible clusters (Definition 15)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class K3CompatibleCluster(CommunicationCluster):
+    """A K3-compatible cluster: ``δ = K^{1/3}`` (Definition 15)."""
+
+    @classmethod
+    def from_edges(
+        cls, graph: nx.Graph, cluster_edges: Iterable[Edge], phi: float = 0.0
+    ) -> "K3CompatibleCluster":
+        edges = [_canonical_edge(*e) for e in cluster_edges]
+        cluster_graph = nx.Graph()
+        cluster_graph.add_edges_from(edges)
+        big_k = cluster_graph.number_of_nodes()
+        delta = big_k ** (1.0 / 3.0) if big_k else 0.0
+        return cls(graph=graph, cluster_graph=cluster_graph, delta=delta, phi=phi)
+
+
+# ---------------------------------------------------------------------------
+# Kp-compatible clusters (Definitions 24 / 25)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class KpCompatibleCluster(CommunicationCluster):
+    """A ``K_p``-compatible cluster for ``p > 3`` (Definition 24).
+
+    In addition to the (φ, δ)-cluster structure with ``δ = n^{1-2/p}`` the
+    cluster carries the imported edge information a clique of size ``>= 4``
+    may need:
+
+    * ``e_bar`` -- directed edges from ``V \\ V_C^-`` into ``V_C^-``
+      (each known to its head, a ``V_C^-`` vertex),
+    * ``e_prime`` -- directed edges entirely outside ``V_C^-`` that were
+      shipped into the cluster, stored per responsible ``V_C^-`` vertex,
+    * ``deg_star`` -- for every outside vertex that is the tail of at least
+      one imported edge, the total number of such edges (each held by exactly
+      one ``V_C^-`` vertex).
+    """
+
+    p: int = 4
+    e_bar: set[DirectedEdge] = field(default_factory=set)
+    e_prime_holder: dict[int, set[DirectedEdge]] = field(default_factory=dict)
+    deg_star: dict[int, int] = field(default_factory=dict)
+
+    @classmethod
+    def from_edges(
+        cls,
+        graph: nx.Graph,
+        cluster_edges: Iterable[Edge],
+        p: int,
+        phi: float = 0.0,
+        delta: float | None = None,
+    ) -> "KpCompatibleCluster":
+        if p <= 3:
+            raise ValueError("KpCompatibleCluster requires p > 3; use K3CompatibleCluster")
+        edges = [_canonical_edge(*e) for e in cluster_edges]
+        cluster_graph = nx.Graph()
+        cluster_graph.add_edges_from(edges)
+        n = graph.number_of_nodes()
+        if delta is None:
+            delta = n ** (1.0 - 2.0 / p) if n else 0.0
+        cluster = cls(
+            graph=graph, cluster_graph=cluster_graph, delta=delta, phi=phi, p=p
+        )
+        return cluster
+
+    # -- imported-edge bookkeeping -------------------------------------------
+
+    def attach_boundary_edges(self) -> None:
+        """Populate ``e_bar`` with all graph edges from outside into ``V_C^-``.
+
+        In the paper each ``v ∈ V_C^-`` knows the edges of ``E_bar`` incident
+        to it (Definition 24, first bullet); here we materialise them from
+        the ambient graph.
+        """
+        self.e_bar.clear()
+        members = set(self.v_minus)
+        for v in members:
+            for u in self.graph.neighbors(v):
+                if u not in members:
+                    self.e_bar.add((u, v))
+
+    def import_outside_edges(self, edges: Iterable[DirectedEdge], holder: int) -> None:
+        """Record directed outside edges (``E'``) as held by ``holder``."""
+        if holder not in self.v_minus:
+            raise ValueError(f"holder {holder} is not a V^- vertex of this cluster")
+        bucket = self.e_prime_holder.setdefault(holder, set())
+        for edge in edges:
+            bucket.add(tuple(edge))
+
+    @property
+    def e_prime(self) -> set[DirectedEdge]:
+        """All imported outside edges, regardless of holder."""
+        combined: set[DirectedEdge] = set()
+        for bucket in self.e_prime_holder.values():
+            combined |= bucket
+        return combined
+
+    def compute_deg_star(self) -> None:
+        """``deg*_C(u)``: number of imported edges (``E_bar ∪ E'``) with tail ``u``.
+
+        Lemma 45 / Lemma 47 of the paper ensure exactly one cluster vertex
+        holds each value; centrally we simply tabulate the counts.
+        """
+        counts: dict[int, int] = {}
+        for u, _ in self.e_bar:
+            counts[u] = counts.get(u, 0) + 1
+        for bucket in self.e_prime_holder.values():
+            for u, _ in bucket:
+                counts[u] = counts.get(u, 0) + 1
+        self.deg_star = counts
+
+    def input_degree(self, vertex: int) -> int:
+        """``deg*_C(v)`` of Definition 24 (0 if the vertex sent nothing)."""
+        return self.deg_star.get(vertex, 0)
+
+    def split_graph_parts(self) -> tuple[set[int], set[int]]:
+        """The split-graph vertex sets ``V_1 = V_C^-`` and ``V_2 = V \\ V_C^-``."""
+        v1 = set(self.v_minus)
+        v2 = set(self.graph.nodes) - v1
+        return v1, v2

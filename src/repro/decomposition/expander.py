@@ -1,0 +1,356 @@
+"""Deterministic expander decomposition (Theorem 5 substitute).
+
+The paper uses the Chang–Saranurak deterministic distributed expander
+decomposition as a black box: a partition ``E = E_1 ∪ ... ∪ E_x ∪ E_r`` where
+the subgraphs ``G[E_i]`` are vertex-disjoint φ-clusters and ``|E_r| <= ε|E|``.
+Re-implementing the distributed CS20 construction (cut-matching games with
+deterministic derandomisation) is far outside the scope of a Python
+reproduction, and the listing layer only depends on the *output object*.  We
+therefore provide a deterministic, centralized construction with the same
+guarantees, and charge its round cost separately through the cost model
+(see :func:`decomposition_round_cost`).
+
+The construction is the classical recursive sparse-cut argument:
+
+1. pick ``φ = ε / (2 ⌈log2 m⌉ + 2)``;
+2. on each connected piece, search for a sweep cut (over the Fiedler vector
+   of the normalised Laplacian) of conductance below ``φ``;
+3. if none exists, the piece is certified as a φ-cluster; otherwise remove
+   the cut edges (they join the remainder ``E_r``) and recurse on both sides.
+
+Charging every removed edge to an endpoint on the smaller-volume side of its
+cut shows each edge is charged ``O(log m)`` times with ``φ`` volume fraction
+per level, so ``|E_r| <= ε |E|`` — the same accounting CS20 and its
+predecessors use.  Because the cut search is spectral and ties are broken by
+vertex identifier, the whole procedure is deterministic.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+import networkx as nx
+import numpy as np
+import scipy.sparse
+import scipy.sparse.linalg
+
+from repro.congest.cost import CostAccountant
+from repro.graphs.properties import conductance_of_cut
+
+Edge = tuple[int, int]
+
+
+def _canonical_edge(u: int, v: int) -> Edge:
+    return (u, v) if u <= v else (v, u)
+
+
+@dataclass(frozen=True)
+class ExpanderCluster:
+    """One φ-cluster of a decomposition.
+
+    Attributes:
+        index: position of this cluster in the decomposition.
+        vertices: vertex set ``V_i`` of the cluster.
+        edges: edge set ``E_i`` (edges of the input graph with both endpoints
+            in ``vertices`` that were assigned to this cluster).
+        conductance_lower_bound: the certified conductance lower bound
+            (no sweep cut below this value exists in the cluster).
+    """
+
+    index: int
+    vertices: frozenset[int]
+    edges: frozenset[Edge]
+    conductance_lower_bound: float
+
+    def subgraph(self) -> nx.Graph:
+        """The cluster as a standalone graph ``G[E_i]``."""
+        graph = nx.Graph()
+        graph.add_nodes_from(sorted(self.vertices))
+        graph.add_edges_from(sorted(self.edges))
+        return graph
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.vertices)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edges)
+
+
+@dataclass
+class ExpanderDecomposition:
+    """An (ε, φ)-expander decomposition (Definition 4).
+
+    ``E = E_1 ∪ ... ∪ E_x ∪ E_r`` with vertex-disjoint φ-clusters ``G[E_i]``
+    and ``|E_r| <= ε |E|`` (the bound holds for the construction in this
+    module; :meth:`remainder_fraction` reports the achieved value).
+    """
+
+    graph: nx.Graph
+    epsilon: float
+    phi: float
+    clusters: list[ExpanderCluster]
+    remainder_edges: set[Edge] = field(default_factory=set)
+
+    @property
+    def num_clusters(self) -> int:
+        return len(self.clusters)
+
+    def remainder_fraction(self) -> float:
+        """``|E_r| / |E|`` actually achieved."""
+        m = self.graph.number_of_edges()
+        if m == 0:
+            return 0.0
+        return len(self.remainder_edges) / m
+
+    def cluster_of_vertex(self) -> dict[int, int]:
+        """Map vertex -> cluster index (vertices in no cluster are absent)."""
+        assignment: dict[int, int] = {}
+        for cluster in self.clusters:
+            for vertex in cluster.vertices:
+                assignment[vertex] = cluster.index
+        return assignment
+
+    def covered_edges(self) -> set[Edge]:
+        covered: set[Edge] = set()
+        for cluster in self.clusters:
+            covered.update(cluster.edges)
+        return covered
+
+    def validate(self) -> None:
+        """Raise ``AssertionError`` if the decomposition object is inconsistent."""
+        seen_vertices: set[int] = set()
+        for cluster in self.clusters:
+            overlap = seen_vertices & cluster.vertices
+            assert not overlap, f"clusters share vertices: {sorted(overlap)[:5]}"
+            seen_vertices.update(cluster.vertices)
+        covered = self.covered_edges()
+        all_edges = {_canonical_edge(*e) for e in self.graph.edges}
+        assert covered | self.remainder_edges == all_edges, "edges lost by decomposition"
+        assert not (covered & self.remainder_edges), "edge both covered and in remainder"
+
+
+# ---------------------------------------------------------------------------
+# Sparse-cut search
+# ---------------------------------------------------------------------------
+
+
+def _fiedler_order(graph: nx.Graph) -> list[int]:
+    """Vertices ordered by the Fiedler vector of the normalised Laplacian.
+
+    Deterministic: eigensolver inputs are deterministic and ties between
+    equal vector entries are broken by vertex identifier.
+    """
+    nodes = sorted(graph.nodes)
+    n = len(nodes)
+    if n <= 2:
+        return nodes
+    laplacian = nx.normalized_laplacian_matrix(graph, nodelist=nodes).astype(float)
+    if n <= 400:
+        eigenvalues, eigenvectors = np.linalg.eigh(laplacian.toarray())
+        fiedler = eigenvectors[:, np.argsort(eigenvalues)[1]]
+    else:
+        # Shift-invert around zero is fragile; use the smallest-magnitude
+        # eigenpairs of the (PSD) normalised Laplacian directly.
+        try:
+            eigenvalues, eigenvectors = scipy.sparse.linalg.eigsh(
+                laplacian, k=2, which="SM", v0=np.ones(n) / math.sqrt(n), maxiter=5000,
+            )
+            fiedler = eigenvectors[:, int(np.argmax(eigenvalues))]
+        except Exception:  # pragma: no cover - solver convergence fallback
+            eigenvalues, eigenvectors = np.linalg.eigh(laplacian.toarray())
+            fiedler = eigenvectors[:, np.argsort(eigenvalues)[1]]
+    order = sorted(range(n), key=lambda i: (fiedler[i], nodes[i]))
+    return [nodes[i] for i in order]
+
+
+def sparsest_sweep_cut(graph: nx.Graph) -> tuple[set[int], float]:
+    """Best sweep cut of the Fiedler ordering: (cut vertex set, conductance).
+
+    Returns the side with the smaller volume.  For graphs with fewer than two
+    vertices returns an empty cut with infinite conductance.
+    """
+    n = graph.number_of_nodes()
+    if n < 2 or graph.number_of_edges() == 0:
+        return set(), math.inf
+    ordering = _fiedler_order(graph)
+    degrees = dict(graph.degree())
+    total_volume = sum(degrees.values())
+    adjacency = {v: set(graph.neighbors(v)) for v in graph.nodes}
+
+    best_cut: set[int] = set()
+    best_value = math.inf
+    prefix: set[int] = set()
+    prefix_volume = 0
+    boundary = 0
+    for vertex in ordering[:-1]:
+        prefix.add(vertex)
+        prefix_volume += degrees[vertex]
+        inside = len(adjacency[vertex] & prefix)
+        outside = degrees[vertex] - inside
+        boundary += outside - inside
+        denominator = min(prefix_volume, total_volume - prefix_volume)
+        if denominator <= 0:
+            continue
+        value = boundary / denominator
+        if value < best_value:
+            best_value = value
+            best_cut = set(prefix)
+    if not best_cut:
+        return set(), math.inf
+    # Return the smaller-volume side for the charging argument.
+    complement = set(graph.nodes) - best_cut
+    if volume_of(graph, complement) < volume_of(graph, best_cut):
+        best_cut = complement
+    return best_cut, best_value
+
+
+def volume_of(graph: nx.Graph, vertices: set[int]) -> int:
+    return sum(graph.degree(v) for v in vertices)
+
+
+# ---------------------------------------------------------------------------
+# The decomposition itself
+# ---------------------------------------------------------------------------
+
+
+def expander_decompose(
+    graph: nx.Graph,
+    epsilon: float = 0.15,
+    phi: float | None = None,
+    min_cluster_size: int = 1,
+    accountant: CostAccountant | None = None,
+) -> ExpanderDecomposition:
+    """Compute a deterministic (ε, φ)-expander decomposition.
+
+    Args:
+        graph: input graph (vertices must be hashable; integers expected).
+        epsilon: target bound on the remainder fraction ``|E_r| / |E|``.
+        phi: conductance threshold.  Defaults to
+            ``epsilon / (2 ceil(log2 m) + 2)``, the value for which the
+            recursive charging argument bounds the remainder by ``ε|E|``.
+        min_cluster_size: pieces with at most this many vertices are accepted
+            as clusters without further cutting (their conductance is
+            computed exactly for the certificate).
+        accountant: optional cost accountant; if given, the CS20 round cost
+            of the decomposition is charged to phase ``"expander-decomposition"``.
+
+    Returns:
+        An :class:`ExpanderDecomposition` whose clusters are vertex-disjoint
+        and certified to contain no sweep cut of conductance below ``phi``.
+    """
+    if not 0 < epsilon < 1:
+        raise ValueError("epsilon must lie strictly between 0 and 1")
+    m = graph.number_of_edges()
+    if phi is None:
+        phi = epsilon / (2 * math.ceil(math.log2(max(2, m))) + 2) if m else epsilon
+
+    clusters: list[ExpanderCluster] = []
+    remainder: set[Edge] = set()
+
+    def certify(piece: nx.Graph) -> float:
+        """Lower bound on the conductance of an accepted piece."""
+        if piece.number_of_nodes() <= 2 or piece.number_of_edges() == 0:
+            return 1.0
+        _, value = sparsest_sweep_cut(piece)
+        return min(1.0, value)
+
+    def recurse(piece: nx.Graph) -> None:
+        if piece.number_of_edges() == 0:
+            return
+        if not nx.is_connected(piece):
+            for component in nx.connected_components(piece):
+                recurse(piece.subgraph(component).copy())
+            return
+        if piece.number_of_nodes() <= max(2, min_cluster_size):
+            clusters.append(_make_cluster(piece, certify(piece)))
+            return
+        cut, value = sparsest_sweep_cut(piece)
+        if value >= phi or not cut:
+            clusters.append(_make_cluster(piece, max(phi, min(1.0, value))))
+            return
+        other = set(piece.nodes) - cut
+        for u, v in nx.edge_boundary(piece, cut, other):
+            remainder.add(_canonical_edge(u, v))
+        recurse(piece.subgraph(cut).copy())
+        recurse(piece.subgraph(other).copy())
+
+    def _make_cluster(piece: nx.Graph, bound: float) -> ExpanderCluster:
+        return ExpanderCluster(
+            index=len(clusters),
+            vertices=frozenset(piece.nodes),
+            edges=frozenset(_canonical_edge(u, v) for u, v in piece.edges),
+            conductance_lower_bound=bound,
+        )
+
+    recurse(graph.copy())
+
+    decomposition = ExpanderDecomposition(
+        graph=graph,
+        epsilon=epsilon,
+        phi=phi,
+        clusters=clusters,
+        remainder_edges=remainder,
+    )
+    if accountant is not None:
+        accountant.local_rounds(
+            decomposition_round_cost(graph.number_of_nodes(), epsilon),
+            phase="expander-decomposition",
+        )
+    return decomposition
+
+
+def decomposition_round_cost(n: int, epsilon: float) -> float:
+    """CS20 round cost ``poly(1/ε) · 2^{O(sqrt(log n log log n))}`` (Theorem 5).
+
+    This is the number of rounds the deterministic distributed construction
+    would take; the listing experiments charge it explicitly so that the
+    measured totals reflect the whole pipeline.
+    """
+    if n < 2:
+        return 0.0
+    logn = math.log2(n)
+    loglogn = math.log2(max(2.0, logn))
+    subpoly = 2.0 ** math.sqrt(logn * loglogn)
+    return (1.0 / epsilon) * subpoly
+
+
+# ---------------------------------------------------------------------------
+# Recursion schedule (Lemma 8 / Lemma 33 driver)
+# ---------------------------------------------------------------------------
+
+
+def recursive_decomposition_schedule(
+    graph: nx.Graph,
+    epsilon: float = 0.15,
+    max_depth: int | None = None,
+) -> Iterator[tuple[int, ExpanderDecomposition, nx.Graph]]:
+    """Yield the per-level decompositions of the recursive listing driver.
+
+    Level ``i`` decomposes the graph induced by the edges left over from
+    level ``i-1`` (the remainder ``E_r`` plus the edges outside all ``E_i^-``
+    sets — here simply the remainder, since the listing layer decides which
+    cluster edges to defer).  The iteration stops when no edges remain or the
+    depth cap is hit.  Lemma 8 guarantees a logarithmic number of levels when
+    the listing layer removes a constant fraction per level; the tests check
+    this on workload graphs.
+    """
+    if max_depth is None:
+        max_depth = 2 * math.ceil(math.log2(max(2, graph.number_of_edges() + 1))) + 4
+    current = graph.copy()
+    for depth in range(max_depth):
+        if current.number_of_edges() == 0:
+            return
+        decomposition = expander_decompose(current, epsilon=epsilon)
+        yield depth, decomposition, current
+        residual = nx.Graph()
+        residual.add_nodes_from(current.nodes)
+        residual.add_edges_from(decomposition.remainder_edges)
+        # Remove isolated vertices to keep recursion cheap.
+        residual.remove_nodes_from([v for v in residual.nodes if residual.degree(v) == 0])
+        if residual.number_of_edges() >= current.number_of_edges():
+            return
+        current = residual

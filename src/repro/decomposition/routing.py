@@ -1,0 +1,112 @@
+"""Cluster routing (Theorem 6 substitute).
+
+Theorem 6 of the paper (from [CS20]) states: in a graph of conductance φ
+where every vertex is source and destination of ``O(L) · deg(v)`` messages,
+all messages can be routed deterministically in
+``L · poly(1/φ) · 2^{O(log^{2/3} n log^{1/3} log n)}`` rounds.
+
+The :class:`ClusterRouter` charges exactly this cost through the cost
+accountant for the communication steps the listing algorithms perform inside
+a communication cluster.  The ``poly(1/φ) · n^{o(1)}`` factor is part of the
+accountant's :class:`~repro.congest.cost.RoutingOverhead`; here we expose the
+per-primitive API the higher layers use (route, broadcast, chain hand-offs).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.congest.cost import CostAccountant
+from repro.decomposition.cluster import CommunicationCluster
+
+
+@dataclass
+class ClusterRouter:
+    """Round-cost charging for communication inside one cluster.
+
+    Attributes:
+        cluster: the communication cluster the traffic stays inside.
+        accountant: shared cost accountant charged for every primitive.
+        phase_prefix: metric phase prefix (so per-cluster costs can be
+            distinguished in reports while still aggregating globally).
+    """
+
+    cluster: CommunicationCluster
+    accountant: CostAccountant
+    phase_prefix: str = "cluster"
+
+    def _phase(self, name: str) -> str:
+        return f"{self.phase_prefix}:{name}"
+
+    @property
+    def bandwidth(self) -> int:
+        """Per-round word bandwidth of a V^- vertex: its guaranteed degree δ."""
+        return max(1, int(self.cluster.delta))
+
+    # -- primitives -----------------------------------------------------------
+
+    def route(self, max_words_per_vertex: int, total_words: int | None = None,
+              phase: str = "route") -> int:
+        """Theorem 6 routing: every participant sends/receives the given load."""
+        return self.accountant.route_within_cluster(
+            max_words_per_vertex=max_words_per_vertex,
+            min_degree=self.bandwidth,
+            phase=self._phase(phase),
+            total_words=total_words,
+        )
+
+    def route_proportional(self, load_per_degree: float, total_words: int | None = None,
+                           phase: str = "route-proportional") -> int:
+        """Theorem 6 routing with degree-proportional loads.
+
+        The theorem's natural parameterisation: every vertex ``v`` is source
+        and destination of ``O(L) * deg(v)`` words, which routes in
+        ``L * n^{o(1)}`` rounds regardless of the degree spread.  Callers pass
+        ``L = max_v load_v / deg_C(v)`` directly.
+        """
+        import math as _math
+
+        if load_per_degree <= 0:
+            return 0
+        rounds = _math.ceil(load_per_degree * self.accountant.overhead(self.accountant.n))
+        self.accountant.metrics.add_rounds(rounds, phase=self._phase(phase))
+        if total_words:
+            self.accountant.metrics.add_messages(total_words, phase=self._phase(phase),
+                                                 words=total_words)
+        return rounds
+
+    def broadcast(self, total_words: int, phase: str = "broadcast") -> int:
+        """Lemma 27: make ``total_words`` words known to every V^- vertex."""
+        return self.accountant.broadcast_in_cluster(
+            total_words=total_words,
+            cluster_size=max(1, self.cluster.k),
+            min_degree=self.bandwidth,
+            phase=self._phase(phase),
+        )
+
+    def chain_passes(self, passes: int, state_words: int, phase: str = "chain") -> int:
+        """State hand-offs along a simulator chain (Theorem 11 phase 2)."""
+        return self.accountant.chain_state_passes(
+            passes=passes,
+            state_words=state_words,
+            min_degree=self.bandwidth,
+            phase=self._phase(phase),
+        )
+
+    def direct(self, max_sent: int, max_received: int, total_words: int | None = None,
+               phase: str = "direct") -> int:
+        """Neighbour-to-neighbour exchange over the cluster's own edges."""
+        return self.accountant.direct_exchange(
+            max_words_sent_per_vertex=max_sent,
+            max_words_received_per_vertex=max_received,
+            min_degree=self.bandwidth,
+            phase=self._phase(phase),
+            total_words=total_words,
+        )
+
+    def diameter_rounds(self, multiplier: float = 1.0, phase: str = "aggregate") -> int:
+        """Steps that take ``O(diam)`` = ``O(polylog n)`` rounds (Theorem 3)."""
+        n = max(2, self.cluster.n)
+        rounds = multiplier * (math.log2(n) ** 2)
+        return self.accountant.local_rounds(rounds, phase=self._phase(phase))

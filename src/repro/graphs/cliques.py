@@ -1,0 +1,92 @@
+"""Ground-truth clique enumeration.
+
+The listing algorithms are validated against an independent, centralized
+enumeration of all ``K_p`` instances.  For triangles we use a sorted
+neighbourhood-intersection enumeration; for larger ``p`` we extend partial
+cliques vertex by vertex over higher-numbered neighbours, which enumerates
+each instance exactly once.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Iterator
+
+import networkx as nx
+
+Clique = tuple[int, ...]
+
+
+def canonical_clique(vertices: Iterable[int]) -> Clique:
+    """Canonical (sorted tuple) representation of a clique instance."""
+    return tuple(sorted(vertices))
+
+
+def enumerate_cliques(graph: nx.Graph, p: int) -> set[Clique]:
+    """All instances of ``K_p`` in ``graph`` as canonical tuples.
+
+    Args:
+        graph: undirected simple graph.
+        p: clique size, ``p >= 1``.
+
+    Returns:
+        The set of all ``p``-vertex cliques, each as a sorted tuple.
+    """
+    if p < 1:
+        raise ValueError("clique size must be positive")
+    if p == 1:
+        return {(v,) for v in graph.nodes}
+    if p == 2:
+        return {canonical_clique(edge) for edge in graph.edges}
+    return set(_iterate_cliques(graph, p))
+
+
+def _iterate_cliques(graph: nx.Graph, p: int) -> Iterator[Clique]:
+    """Enumerate ``K_p`` by extending over higher-numbered common neighbours."""
+    adjacency = {v: set(graph.neighbors(v)) for v in graph.nodes}
+    ordered = sorted(graph.nodes)
+
+    def extend(partial: list[int], candidates: set[int]) -> Iterator[Clique]:
+        if len(partial) == p:
+            yield tuple(partial)
+            return
+        # Only extend with vertices larger than the last chosen one so each
+        # clique is produced exactly once, in sorted order.
+        last = partial[-1]
+        for candidate in sorted(candidates):
+            if candidate <= last:
+                continue
+            yield from extend(partial + [candidate], candidates & adjacency[candidate])
+
+    for vertex in ordered:
+        yield from extend([vertex], {u for u in adjacency[vertex] if u > vertex})
+
+
+def count_cliques(graph: nx.Graph, p: int) -> int:
+    """Number of ``K_p`` instances in ``graph``."""
+    return len(enumerate_cliques(graph, p))
+
+
+def cliques_containing_edge(graph: nx.Graph, edge: tuple[int, int], p: int) -> set[Clique]:
+    """All ``K_p`` instances that contain the given edge."""
+    u, v = edge
+    if not graph.has_edge(u, v):
+        return set()
+    if p == 2:
+        return {canonical_clique((u, v))}
+    common = set(graph.neighbors(u)) & set(graph.neighbors(v))
+    result: set[Clique] = set()
+    for extension in itertools.combinations(sorted(common), p - 2):
+        if all(graph.has_edge(a, b) for a, b in itertools.combinations(extension, 2)):
+            result.add(canonical_clique((u, v) + extension))
+    return result
+
+
+def triangles_of_vertex(graph: nx.Graph, vertex: int) -> set[Clique]:
+    """All triangles containing ``vertex`` (used by the local-search baseline)."""
+    neighbors = sorted(graph.neighbors(vertex))
+    result: set[Clique] = set()
+    for a, b in itertools.combinations(neighbors, 2):
+        if graph.has_edge(a, b):
+            result.add(canonical_clique((vertex, a, b)))
+    return result

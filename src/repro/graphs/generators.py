@@ -1,0 +1,135 @@
+"""Workload graph generators.
+
+All generators return graphs whose vertices are the integers ``0..n-1``.  The
+paper's algorithms rely on vertices being totally ordered by identifier
+(streams are ordered by vertex number, vertex chains are contiguous ranges),
+so integer labels are part of the contract.
+
+Every generator takes a ``seed`` and is fully deterministic given it, which
+matters both for reproducible experiments and because the paper's point is
+determinism: the *algorithms* never use randomness, only the workloads do.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import networkx as nx
+
+
+def deterministic_seed(*components: object) -> int:
+    """Derive a stable integer seed from arbitrary hashable components.
+
+    Python's built-in ``hash`` is salted per process for strings, so we use a
+    simple polynomial rolling hash over the ``repr`` of the components
+    instead.  This keeps workload generation reproducible across runs.
+    """
+    accumulator = 0
+    for component in components:
+        for char in repr(component):
+            accumulator = (accumulator * 1_000_003 + ord(char)) % (2**63 - 1)
+    return accumulator
+
+
+def _relabel_to_range(graph: nx.Graph) -> nx.Graph:
+    """Relabel nodes to 0..n-1 preserving adjacency."""
+    mapping = {node: index for index, node in enumerate(sorted(graph.nodes))}
+    return nx.relabel_nodes(graph, mapping, copy=True)
+
+
+def erdos_renyi(n: int, avg_degree: float, seed: int = 0) -> nx.Graph:
+    """Erdős–Rényi graph ``G(n, p)`` with expected average degree ``avg_degree``."""
+    if n <= 1:
+        graph = nx.empty_graph(n)
+        return graph
+    p = min(1.0, avg_degree / (n - 1))
+    graph = nx.gnp_random_graph(n, p, seed=seed)
+    return _relabel_to_range(graph)
+
+
+def planted_cliques(
+    n: int,
+    clique_size: int,
+    num_cliques: int,
+    background_avg_degree: float = 4.0,
+    seed: int = 0,
+) -> nx.Graph:
+    """Sparse background graph with ``num_cliques`` planted ``K_clique_size``.
+
+    This is the listing workload: the planted cliques guarantee a known,
+    non-trivial set of instances on top of an otherwise sparse graph, so both
+    correctness (every planted clique must be reported) and load balancing
+    (cliques concentrate edges locally) are exercised.
+    """
+    if clique_size < 2:
+        raise ValueError("clique_size must be at least 2")
+    rng = random.Random(seed)
+    graph = erdos_renyi(n, background_avg_degree, seed=seed)
+    graph.add_nodes_from(range(n))
+    for _ in range(num_cliques):
+        members = rng.sample(range(n), min(clique_size, n))
+        for u, v in itertools.combinations(members, 2):
+            graph.add_edge(u, v)
+    return graph
+
+
+def clustered_communities(
+    num_communities: int,
+    community_size: int,
+    intra_p: float = 0.6,
+    inter_p: float = 0.01,
+    seed: int = 0,
+) -> nx.Graph:
+    """Planted-partition graph: dense communities, sparse inter-community edges.
+
+    This is the natural workload for expander decomposition: each community
+    is (close to) a high-conductance cluster and the inter-community edges
+    play the role of the ``E_r`` remainder.
+    """
+    sizes = [community_size] * num_communities
+    p_matrix = [
+        [intra_p if i == j else inter_p for j in range(num_communities)]
+        for i in range(num_communities)
+    ]
+    graph = nx.stochastic_block_model(sizes, p_matrix, seed=seed)
+    graph = nx.Graph(graph)
+    return _relabel_to_range(graph)
+
+
+def power_law(n: int, exponent: float = 2.5, avg_degree: float = 6.0, seed: int = 0) -> nx.Graph:
+    """Power-law (configuration-model style) graph via Barabási–Albert.
+
+    Heavy-tailed degrees stress the load-balancing components: a few very
+    high degree vertices hold most of the edges.
+    """
+    m = max(1, int(round(avg_degree / 2)))
+    if n <= m:
+        return nx.complete_graph(n)
+    graph = nx.barabasi_albert_graph(n, m, seed=seed)
+    return _relabel_to_range(graph)
+
+
+def ring_of_cliques(num_cliques: int, clique_size: int) -> nx.Graph:
+    """Deterministic ring of cliques.
+
+    Each clique is a maximal high-conductance cluster; consecutive cliques
+    share one connecting edge.  Useful as a fully deterministic decomposition
+    and listing workload with exactly known clique counts.
+    """
+    graph = nx.ring_of_cliques(num_cliques, clique_size)
+    return _relabel_to_range(graph)
+
+
+def expander_like(n: int, degree: int = 8, seed: int = 0) -> nx.Graph:
+    """Random regular graph: whp an expander, i.e. a single φ-cluster.
+
+    This is the "easy" decomposition case (the whole graph is one cluster)
+    and the hard listing case (edges are spread uniformly).
+    """
+    if degree >= n:
+        return nx.complete_graph(n)
+    if (n * degree) % 2 == 1:
+        degree += 1
+    graph = nx.random_regular_graph(degree, n, seed=seed)
+    return _relabel_to_range(graph)

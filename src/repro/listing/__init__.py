@@ -1,0 +1,28 @@
+"""Clique listing algorithms: the paper's primary contribution.
+
+* :mod:`repro.listing.local` -- exhaustive 2-hop listing (Lemma 35),
+  used for low-degree vertices and as a standalone baseline.
+* :mod:`repro.listing.triangles` -- deterministic triangle listing in
+  ``n^{1/3+o(1)}`` rounds (Theorem 32).
+* :mod:`repro.listing.cliques` -- deterministic ``K_p`` listing in
+  ``n^{1-2/p+o(1)}`` rounds for ``p >= 4`` (Theorem 36).
+* :mod:`repro.listing.validation` -- coverage / duplication checks against
+  the centralized ground truth.
+"""
+
+from repro.listing.local import two_hop_exhaustive_listing, exhaustive_rounds_bound
+from repro.listing.triangles import TriangleListing, ListingResult, list_triangles
+from repro.listing.cliques import CliqueListing, list_cliques
+from repro.listing.validation import validate_listing, CoverageReport
+
+__all__ = [
+    "two_hop_exhaustive_listing",
+    "exhaustive_rounds_bound",
+    "TriangleListing",
+    "ListingResult",
+    "list_triangles",
+    "CliqueListing",
+    "list_cliques",
+    "validate_listing",
+    "CoverageReport",
+]

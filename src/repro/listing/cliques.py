@@ -1,0 +1,251 @@
+"""Deterministic ``K_p`` listing in ``n^{1-2/p+o(1)}`` rounds, ``p >= 4`` (Theorem 36).
+
+The outer recursion (Lemmas 38/39) is shared with the triangle algorithm;
+the per-cluster work implements Lemma 37:
+
+* core vertices whose cluster degree is below ``β · n^{1-2/p}`` are handled by
+  exhaustive 2-hop search (Lemma 41 via Lemma 35);
+* the high-degree vertices ``V_C^-`` import the boundary edges ``E_bar`` and
+  the outside edges ``E'`` they may need (Lemma 43 / Definition 24), then for
+  every ``2 <= p' <= p`` build a ``(p', p)``-split ``K_p``-partition tree
+  (Theorem 26) whose leaf parts are distributed over ``V_C^*`` (Lemma 20);
+  each leaf owner learns the edges between its part's ancestor parts and
+  reports the ``K_p`` instances it sees.  Theorem 23 guarantees that every
+  clique with exactly ``p'`` vertices in ``V_C^-`` is caught by some leaf.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.congest.cost import RoutingOverhead
+from repro.decomposition.cluster import KpCompatibleCluster
+from repro.decomposition.routing import ClusterRouter
+from repro.graphs.cliques import Clique, canonical_clique
+from repro.listing.local import two_hop_exhaustive_listing
+from repro.listing.recursion import ClusterTask, ListingResult, RecursiveListingDriver
+from repro.partition_trees.split_tree import construct_split_kp_tree
+
+Edge = tuple[int, int]
+
+
+def _cliques_in_edges(edges: set[Edge], p: int) -> set[Clique]:
+    """All ``K_p`` formed by a (small) explicit edge set."""
+    if not edges:
+        return set()
+    graph = nx.Graph()
+    graph.add_edges_from(edges)
+    adjacency = {v: set(graph.neighbors(v)) for v in graph.nodes}
+    found: set[Clique] = set()
+
+    def extend(partial: list[int], candidates: set[int]) -> None:
+        if len(partial) == p:
+            found.add(canonical_clique(partial))
+            return
+        for candidate in sorted(candidates):
+            if candidate <= partial[-1]:
+                continue
+            extend(partial + [candidate], candidates & adjacency[candidate])
+
+    for vertex in sorted(graph.nodes):
+        extend([vertex], {u for u in adjacency[vertex] if u > vertex})
+    return found
+
+
+@dataclass
+class CliqueListing:
+    """Theorem 36: deterministic CONGEST listing of ``K_p``, ``p >= 4``.
+
+    Attributes:
+        p: clique size (``>= 4``; use :class:`TriangleListing` for ``p = 3``).
+        epsilon: expander-decomposition remainder parameter (Lemma 38 uses
+            1/18, Lemma 39 uses 1/12; any small constant works).
+        beta: the degree-threshold constant of Section 6 (β).
+        overhead: routing-overhead model for the ``n^{o(1)}`` factor.
+        check_tree_constraints: validate the split trees against
+            Definition 22 (slower; used by the test-suite).
+    """
+
+    p: int = 4
+    epsilon: float = 1.0 / 18.0
+    beta: float = 1.0
+    overhead: RoutingOverhead | None = None
+    max_levels: int | None = None
+    check_tree_constraints: bool = False
+
+    def __post_init__(self) -> None:
+        if self.p < 4:
+            raise ValueError("CliqueListing handles p >= 4; use TriangleListing for p = 3")
+
+    def run(self, graph: nx.Graph) -> ListingResult:
+        """List every ``K_p`` of ``graph``; see :class:`ListingResult`."""
+        driver = RecursiveListingDriver(
+            p=self.p, epsilon=self.epsilon, overhead=self.overhead,
+            max_levels=self.max_levels,
+        )
+        return driver.run(graph, self._handle_cluster)
+
+    # -- Lemma 37: listing inside one cluster ----------------------------------
+
+    def _handle_cluster(self, task: ClusterTask) -> set[Clique]:
+        working = task.working_graph()
+        n = task.graph.number_of_nodes()
+        delta = self.beta * (n ** (1.0 - 2.0 / self.p))
+        found: set[Clique] = set()
+
+        # Lemma 41: core vertices below the degree threshold are exhausted in
+        # O(n^{1-2/p}) rounds; their cliques are listed from the full graph so
+        # instances leaving the cluster are caught too.
+        low_core = [v for v in task.core if working.degree(v) < delta]
+        if low_core:
+            outcome = two_hop_exhaustive_listing(
+                task.graph, low_core, p=self.p,
+                alpha=max(1, math.ceil(2 * delta)),
+                accountant=task.accountant,
+                phase=f"level{task.level}-c{task.cluster_index}:low-degree",
+            )
+            found |= outcome.cliques
+
+        cluster = KpCompatibleCluster.from_edges(
+            task.graph, task.working_edges, p=self.p, delta=delta
+        )
+        members = cluster.ordered_members()
+        if len(members) < 2:
+            return found
+        router = ClusterRouter(
+            cluster=cluster, accountant=task.accountant,
+            phase_prefix=f"level{task.level}-c{task.cluster_index}",
+        )
+
+        self._import_outside_edges(task, cluster, router)
+
+        if len(members) < self.p:
+            # Too few high-degree vertices to host the split-tree machinery:
+            # exhaust them directly (their count is O(p), so this is cheap).
+            outcome = two_hop_exhaustive_listing(
+                task.graph, members, p=self.p,
+                accountant=task.accountant,
+                phase=f"level{task.level}-c{task.cluster_index}:tiny-core",
+            )
+            return found | outcome.cliques
+
+        for p_prime in range(2, self.p + 1):
+            found |= self._list_with_split_tree(task, cluster, router, p_prime)
+        return found
+
+    # -- Lemma 43 / Theorem 31: building the K_p-compatible input ----------------
+
+    def _import_outside_edges(
+        self, task: ClusterTask, cluster: KpCompatibleCluster, router: ClusterRouter
+    ) -> None:
+        """Ship ``E_bar`` and ``E'`` into the cluster and charge the delivery."""
+        graph = task.graph
+        cluster.attach_boundary_edges()
+        members = set(cluster.v_minus)
+
+        outside_neighbourhood: set[int] = set()
+        for vertex in members:
+            outside_neighbourhood.update(
+                u for u in graph.neighbors(vertex) if u not in members
+            )
+        # E': edges of G among the outside neighbourhood of V_C^-; every clique
+        # with >= 2 vertices inside has all its outside edges here (Lemma 43).
+        e_prime: set[Edge] = set()
+        for vertex in outside_neighbourhood:
+            for neighbor in graph.neighbors(vertex):
+                if neighbor in outside_neighbourhood and vertex < neighbor:
+                    e_prime.add((vertex, neighbor))
+        # Deterministic holder rule: edge (u, w) goes to the lowest-numbered
+        # V_C^- neighbour of u (mirrors the chunked delivery of Lemma 43).
+        ordered_members = cluster.ordered_members()
+        holder_of: dict[int, int] = {}
+        for outside_vertex in outside_neighbourhood:
+            inside_neighbors = sorted(u for u in graph.neighbors(outside_vertex) if u in members)
+            holder_of[outside_vertex] = inside_neighbors[0] if inside_neighbors else ordered_members[0]
+        per_holder: dict[int, list[Edge]] = {}
+        for u, w in e_prime:
+            per_holder.setdefault(holder_of[u], []).append((u, w))
+        for holder, edges in per_holder.items():
+            cluster.import_outside_edges(edges, holder)
+        cluster.compute_deg_star()
+
+        # Round cost of the import (Lemma 43) and of distributing deg* values
+        # (Lemma 45): direct exchanges bounded by the actual per-vertex loads.
+        max_received = max((len(edges) for edges in per_holder.values()), default=0)
+        max_sent = max(
+            (sum(1 for nb in graph.neighbors(v) if nb in outside_neighbourhood)
+             for v in outside_neighbourhood), default=0,
+        )
+        router.direct(
+            max_sent=max_sent, max_received=max_received,
+            total_words=len(e_prime), phase="lemma43-import",
+        )
+        router.broadcast(total_words=max(1, len(holder_of)), phase="lemma45-degstar")
+
+    # -- Theorem 26 + final listing step of Lemma 37 -----------------------------
+
+    def _list_with_split_tree(
+        self,
+        task: ClusterTask,
+        cluster: KpCompatibleCluster,
+        router: ClusterRouter,
+        p_prime: int,
+    ) -> set[Clique]:
+        result = construct_split_kp_tree(
+            cluster, p=self.p, p_prime=p_prime, router=router,
+            check_constraints=self.check_tree_constraints,
+        )
+        if self.check_tree_constraints and result.violations:
+            raise AssertionError(
+                f"split tree (p'={p_prime}) violates Definition 22: "
+                + "; ".join(result.violations[:3])
+            )
+        tree = result.tree
+        split = result.split
+        found: set[Clique] = set()
+        received_load: dict[int, int] = {}
+        for (path, part_index), owner in result.assignment.owner.items():
+            node = tree.node_at(path)
+            ancestors = tree.ancestor_parts(node, part_index)
+            learned: set[Edge] = set()
+            for first, second in itertools.combinations(range(len(ancestors)), 2):
+                learned |= split.edges_between(
+                    ancestors[first].vertices(), ancestors[second].vertices()
+                )
+            received_load[owner] = received_load.get(owner, 0) + len(learned)
+            found |= _cliques_in_edges(learned, self.p)
+
+        # Final edge-delivery step of Lemma 37: every V^- vertex pushes its
+        # edges to the leaf owners that need them.  Loads are
+        # degree-proportional (each edge is sent ~n^{1-2/p} times, each owner
+        # receives ~n^{1-2/p} deg(v) edges), so Theorem 6 routes them in
+        # ~n^{1-2/p} * n^{o(1)} rounds.
+        members = cluster.ordered_members()
+        a = max(1.0, len(members) ** (1.0 / self.p))
+        load_per_degree = a
+        for owner, received in received_load.items():
+            degree = max(1, cluster.communication_degree(owner))
+            load_per_degree = max(load_per_degree, received / degree)
+        router.route_proportional(
+            load_per_degree=load_per_degree,
+            total_words=sum(received_load.values()),
+            phase=f"lemma37-edge-learning-p{p_prime}",
+        )
+        return found
+
+
+def list_cliques(graph: nx.Graph, p: int, **kwargs) -> ListingResult:
+    """List all ``K_p`` of ``graph`` with the paper's deterministic algorithm.
+
+    Dispatches to :class:`~repro.listing.triangles.TriangleListing` for
+    ``p = 3`` and to :class:`CliqueListing` for ``p >= 4``.
+    """
+    if p == 3:
+        from repro.listing.triangles import TriangleListing
+
+        return TriangleListing(**kwargs).run(graph)
+    return CliqueListing(p=p, **kwargs).run(graph)

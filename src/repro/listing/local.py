@@ -1,0 +1,114 @@
+"""Exhaustive 2-hop listing (Lemma 35, quoted from [CHFL+22, Claim 19]).
+
+Every vertex ``v`` with ``deg(v) <= α`` can deterministically learn its
+*induced* 2-hop neighbourhood in ``O(α)`` CONGEST rounds: ``v`` announces its
+adjacency list to its neighbours (``α`` rounds, pipelined one identifier per
+round per edge) and each neighbour answers which of the announced vertices it
+is adjacent to (another ``α`` rounds).  Knowing the induced neighbourhood,
+``v`` locally lists every clique that contains it.
+
+The module provides both the centralized computation (which cliques each
+low-degree vertex reports) and the round cost, and is used (a) inside the
+listing algorithms for the low-degree vertices of each cluster and (b) as the
+standalone exhaustive-search baseline of experiment E8.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable
+
+import networkx as nx
+
+from repro.congest.cost import CostAccountant
+from repro.graphs.cliques import Clique, canonical_clique
+
+
+def exhaustive_rounds_bound(alpha: int) -> int:
+    """Round cost of Lemma 35 for degree threshold ``alpha``: ``O(alpha)``.
+
+    The constant is 2 (announce + answer), matching the protocol sketch.
+    """
+    return max(0, 2 * alpha)
+
+
+def cliques_through_vertex(graph: nx.Graph, vertex: int, p: int) -> set[Clique]:
+    """All ``K_p`` of ``graph`` containing ``vertex`` (local computation).
+
+    This is exactly what the vertex can compute after learning its induced
+    neighbourhood: every clique through ``v`` consists of ``v`` plus a
+    ``(p-1)``-clique among its neighbours.
+    """
+    if p < 1:
+        return set()
+    if p == 1:
+        return {(vertex,)}
+    neighbors = sorted(graph.neighbors(vertex))
+    found: set[Clique] = set()
+    adjacency = {u: set(graph.neighbors(u)) for u in neighbors}
+    def extend(partial: list[int], candidates: list[int]) -> None:
+        if len(partial) == p - 1:
+            found.add(canonical_clique([vertex] + partial))
+            return
+        for position, candidate in enumerate(candidates):
+            remaining = [c for c in candidates[position + 1 :] if c in adjacency[candidate]]
+            extend(partial + [candidate], remaining)
+
+    extend([], neighbors)
+    return found
+
+
+@dataclass
+class ExhaustiveListingOutcome:
+    """Result of the 2-hop exhaustive pass over a set of vertices."""
+
+    cliques: set[Clique]
+    rounds: int
+    vertices_processed: int
+
+
+def two_hop_exhaustive_listing(
+    graph: nx.Graph,
+    vertices: Iterable[int],
+    p: int,
+    alpha: int | None = None,
+    accountant: CostAccountant | None = None,
+    phase: str = "exhaustive-2hop",
+) -> ExhaustiveListingOutcome:
+    """Run the Lemma 35 exhaustive pass for a set of (low-degree) vertices.
+
+    Args:
+        graph: the graph the cliques live in.
+        vertices: the vertices that learn their induced 2-hop neighbourhood;
+            the pass runs for all of them in parallel.
+        p: clique size to list.
+        alpha: degree bound used for the round cost (defaults to the maximum
+            degree among ``vertices``).
+        accountant: optional cost accountant; when given, ``O(alpha)`` rounds
+            are charged to ``phase`` (the per-vertex work runs in parallel).
+
+    Returns:
+        The union of all cliques through the given vertices, with the round
+        cost of the pass.
+    """
+    vertex_list = [v for v in vertices if v in graph]
+    if not vertex_list:
+        return ExhaustiveListingOutcome(cliques=set(), rounds=0, vertices_processed=0)
+    if alpha is None:
+        alpha = max(graph.degree(v) for v in vertex_list)
+    rounds = exhaustive_rounds_bound(alpha)
+    if accountant is not None:
+        accountant.direct_exchange(
+            max_words_sent_per_vertex=2 * alpha,
+            max_words_received_per_vertex=2 * alpha,
+            min_degree=1,
+            phase=phase,
+            total_words=sum(min(alpha, graph.degree(v)) * 2 for v in vertex_list),
+        )
+    cliques: set[Clique] = set()
+    for vertex in vertex_list:
+        cliques |= cliques_through_vertex(graph, vertex, p)
+    return ExhaustiveListingOutcome(
+        cliques=cliques, rounds=rounds, vertices_processed=len(vertex_list)
+    )

@@ -1,0 +1,167 @@
+"""Deterministic triangle listing in ``n^{1/3+o(1)}`` rounds (Theorem 32).
+
+The outer recursion (Lemma 33) is provided by
+:class:`~repro.listing.recursion.RecursiveListingDriver`; this module supplies
+the per-cluster work of Lemma 34:
+
+* vertices whose communication degree is below ``δ = K^{1/3}`` learn their
+  induced 2-hop neighbourhood by exhaustive search (Lemma 35) and report all
+  triangles through them;
+* the remaining high-degree vertices ``V_C^-`` build a K3-partition tree of
+  ``C[V_C^-]`` (Theorem 16); each ``V_C^*`` vertex then learns, for every
+  leaf part assigned to it, the edges running between the part's ancestor
+  parts and reports the triangles it sees.  Theorem 13 guarantees that every
+  triangle with all three vertices in ``V_C^-`` is caught by some leaf part.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.congest.cost import RoutingOverhead
+from repro.decomposition.cluster import K3CompatibleCluster
+from repro.decomposition.routing import ClusterRouter
+from repro.graphs.cliques import Clique, canonical_clique
+from repro.listing.local import two_hop_exhaustive_listing
+from repro.listing.recursion import ClusterTask, ListingResult, RecursiveListingDriver
+from repro.partition_trees.construction import construct_k3_partition_tree
+from repro.partition_trees.tree import HTreeConstraints
+
+
+def _triangles_in_edges(edges: set[tuple[int, int]]) -> set[Clique]:
+    """All triangles formed by a (small) explicit edge set."""
+    adjacency: dict[int, set[int]] = {}
+    for u, v in edges:
+        adjacency.setdefault(u, set()).add(v)
+        adjacency.setdefault(v, set()).add(u)
+    triangles: set[Clique] = set()
+    for u, v in edges:
+        for w in adjacency[u] & adjacency[v]:
+            triangles.add(canonical_clique((u, v, w)))
+    return triangles
+
+
+@dataclass
+class TriangleListing:
+    """Theorem 32: deterministic CONGEST triangle listing.
+
+    Attributes:
+        epsilon: expander-decomposition remainder parameter (the proof of
+            Lemma 38 fixes 1/18; any constant below ~1/4 keeps the recursion
+            logarithmic).
+        overhead: routing-overhead model for the ``n^{o(1)}`` factor.
+        check_tree_constraints: validate every constructed partition tree
+            against Definition 14 (slower; used by the test-suite).
+    """
+
+    epsilon: float = 1.0 / 18.0
+    overhead: RoutingOverhead | None = None
+    max_levels: int | None = None
+    check_tree_constraints: bool = False
+
+    def run(self, graph: nx.Graph) -> ListingResult:
+        """List every triangle of ``graph``; see :class:`ListingResult`."""
+        driver = RecursiveListingDriver(
+            p=3, epsilon=self.epsilon, overhead=self.overhead, max_levels=self.max_levels
+        )
+        return driver.run(graph, self._handle_cluster)
+
+    # -- Lemma 34: listing inside one cluster ----------------------------------
+
+    def _handle_cluster(self, task: ClusterTask) -> set[Clique]:
+        working = task.working_graph()
+        cluster = K3CompatibleCluster.from_edges(task.graph, task.working_edges)
+        router = ClusterRouter(
+            cluster=cluster, accountant=task.accountant,
+            phase_prefix=f"level{task.level}-c{task.cluster_index}",
+        )
+        found: set[Clique] = set()
+
+        # Low-degree vertices: exhaustive 2-hop search (Lemma 35).
+        delta = cluster.delta
+        low_degree = [v for v in working.nodes if working.degree(v) < delta]
+        if low_degree:
+            outcome = two_hop_exhaustive_listing(
+                working, low_degree, p=3,
+                alpha=max(1, math.ceil(delta)),
+                accountant=task.accountant,
+                phase=f"level{task.level}-c{task.cluster_index}:low-degree",
+            )
+            found |= outcome.cliques
+
+        # High-degree vertices: K3-partition tree over C[V_C^-] (Theorem 16).
+        members = cluster.ordered_members()
+        if len(members) >= 3:
+            found |= self._list_high_degree(task, cluster, router, working)
+        elif members:
+            outcome = two_hop_exhaustive_listing(
+                working, members, p=3,
+                accountant=task.accountant,
+                phase=f"level{task.level}-c{task.cluster_index}:tiny-core",
+            )
+            found |= outcome.cliques
+        return found
+
+    def _list_high_degree(
+        self,
+        task: ClusterTask,
+        cluster: K3CompatibleCluster,
+        router: ClusterRouter,
+        working: nx.Graph,
+    ) -> set[Clique]:
+        members = cluster.ordered_members()
+        member_set = set(members)
+        core_graph = working.subgraph(members)
+        result = construct_k3_partition_tree(
+            cluster, router=router,
+            constraints=HTreeConstraints(p=3),
+            check_constraints=self.check_tree_constraints,
+        )
+        if self.check_tree_constraints and result.violations:
+            raise AssertionError(
+                "K3-partition tree violates Definition 14: " + "; ".join(result.violations[:3])
+            )
+
+        tree = result.tree
+        assignment = result.assignment
+        found: set[Clique] = set()
+        received_load: dict[int, int] = {}
+        x = max(1.0, len(members) ** (1.0 / 3.0))
+
+        adjacency = {v: set(core_graph.neighbors(v)) for v in members}
+        for (path, part_index), owner in assignment.owner.items():
+            node = tree.node_at(path)
+            ancestors = tree.ancestor_parts(node, part_index)
+            ancestor_sets = [set(part.vertices()) for part in ancestors]
+            learned: set[tuple[int, int]] = set()
+            for first, second in itertools.combinations(range(len(ancestor_sets)), 2):
+                left, right = ancestor_sets[first], ancestor_sets[second]
+                for u in left:
+                    for w in adjacency.get(u, ()) & right:
+                        learned.add((u, w) if u <= w else (w, u))
+            received_load[owner] = received_load.get(owner, 0) + len(learned)
+            found |= _triangles_in_edges(learned)
+
+        # Step 1/2 of Lemma 34: interval announcements plus edge deliveries.
+        # Loads are degree-proportional (each vertex sends each of its edges
+        # O(k^{1/3}) times; each V* owner receives O(k^{1/3} deg(v)) edges),
+        # so the routing of Theorem 6 takes ~k^{1/3} * n^{o(1)} rounds.
+        load_per_degree = x  # the send side: every edge travels O(x) times
+        for owner, received in received_load.items():
+            degree = max(1, cluster.communication_degree(owner))
+            load_per_degree = max(load_per_degree, received / degree)
+        router.route_proportional(
+            load_per_degree=load_per_degree,
+            total_words=sum(received_load.values()),
+            phase="lemma34-edge-learning",
+        )
+        return found
+
+
+def list_triangles(graph: nx.Graph, **kwargs) -> ListingResult:
+    """Convenience wrapper: run :class:`TriangleListing` with keyword options."""
+    return TriangleListing(**kwargs).run(graph)

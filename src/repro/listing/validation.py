@@ -1,0 +1,67 @@
+"""Coverage validation of listing runs against the centralized ground truth."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.graphs.cliques import Clique, enumerate_cliques
+from repro.listing.recursion import ListingResult
+
+
+@dataclass
+class CoverageReport:
+    """Comparison of a listing run against exhaustive ground truth.
+
+    Attributes:
+        p: clique size.
+        expected: number of cliques in the ground truth.
+        listed: number of distinct cliques the algorithm reported.
+        missing: cliques present in the graph but never reported.
+        spurious: reported tuples that are not cliques of the graph.
+        duplication_factor: total reports divided by distinct cliques.
+    """
+
+    p: int
+    expected: int
+    listed: int
+    missing: set[Clique]
+    spurious: set[Clique]
+    duplication_factor: float
+
+    @property
+    def complete(self) -> bool:
+        return not self.missing
+
+    @property
+    def sound(self) -> bool:
+        return not self.spurious
+
+    @property
+    def correct(self) -> bool:
+        return self.complete and self.sound
+
+    def summary(self) -> str:
+        status = "OK" if self.correct else "FAILED"
+        return (
+            f"[{status}] K_{self.p}: {self.listed}/{self.expected} listed, "
+            f"{len(self.missing)} missing, {len(self.spurious)} spurious, "
+            f"duplication x{self.duplication_factor:.2f}"
+        )
+
+
+def validate_listing(graph: nx.Graph, result: ListingResult) -> CoverageReport:
+    """Compare the output of a listing run against exhaustive enumeration."""
+    truth = enumerate_cliques(graph, result.p)
+    listed = set(result.cliques)
+    missing = truth - listed
+    spurious = listed - truth
+    return CoverageReport(
+        p=result.p,
+        expected=len(truth),
+        listed=len(listed),
+        missing=missing,
+        spurious=spurious,
+        duplication_factor=result.duplication_factor,
+    )

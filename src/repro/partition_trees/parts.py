@@ -1,0 +1,139 @@
+"""Parts and partitions over an ordered vertex universe.
+
+The streaming constructions of Lemmas 17 and 29 emit partitions as intervals
+of vertex numbers over a fixed, sorted universe (``V_C^-`` for triangle
+trees; ``V_1`` or ``V_2`` of a split graph for split trees).  A part is
+therefore represented by the pair of endpoints of its interval in the sorted
+universe, which is exactly the ``O(log n)``-bit object the paper's algorithms
+broadcast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+
+@dataclass(frozen=True)
+class VertexInterval:
+    """A contiguous interval of positions over a sorted vertex universe.
+
+    Attributes:
+        universe: the sorted tuple of vertex identifiers the interval indexes
+            into.  Parts of the same partition share the same universe object.
+        lo: first position of the interval (inclusive, 0-based).
+        hi: last position of the interval (inclusive).  ``hi < lo`` encodes
+            the empty part.
+    """
+
+    universe: tuple[int, ...]
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if self.lo < 0 or self.hi >= len(self.universe):
+            if not (self.hi < self.lo):  # allow canonical empty interval
+                raise ValueError(
+                    f"interval [{self.lo}, {self.hi}] out of bounds for a universe "
+                    f"of {len(self.universe)} vertices"
+                )
+
+    @property
+    def size(self) -> int:
+        return max(0, self.hi - self.lo + 1)
+
+    def vertices(self) -> tuple[int, ...]:
+        """The vertex identifiers contained in this part."""
+        if self.size == 0:
+            return ()
+        return self.universe[self.lo : self.hi + 1]
+
+    def contains(self, vertex: int) -> bool:
+        if self.size == 0:
+            return False
+        lo_v, hi_v = self.universe[self.lo], self.universe[self.hi]
+        if not lo_v <= vertex <= hi_v:
+            return False
+        # The universe is sorted, so membership within the bounding
+        # identifiers can be checked by binary search.
+        import bisect
+
+        position = bisect.bisect_left(self.universe, vertex, self.lo, self.hi + 1)
+        return position <= self.hi and self.universe[position] == vertex
+
+    def endpoints(self) -> tuple[int, int]:
+        """The (first vertex id, last vertex id) pair the algorithms transmit."""
+        if self.size == 0:
+            return (-1, -1)
+        return (self.universe[self.lo], self.universe[self.hi])
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.vertices())
+
+    def __len__(self) -> int:
+        return self.size
+
+
+@dataclass(frozen=True)
+class Partition:
+    """An ordered partition of a universe into contiguous interval parts."""
+
+    parts: tuple[VertexInterval, ...]
+
+    @classmethod
+    def from_boundaries(cls, universe: Sequence[int], boundaries: Sequence[tuple[int, int]]) -> "Partition":
+        """Build a partition from (first vertex id, last vertex id) pairs.
+
+        This is the inverse of :meth:`VertexInterval.endpoints` and the format
+        in which the streaming algorithms emit partitions.
+        """
+        ordered = tuple(sorted(universe))
+        index_of = {v: i for i, v in enumerate(ordered)}
+        parts = []
+        for first, last in boundaries:
+            if first == -1 and last == -1:
+                parts.append(VertexInterval(ordered, 0, -1))
+                continue
+            parts.append(VertexInterval(ordered, index_of[first], index_of[last]))
+        return cls(parts=tuple(parts))
+
+    @classmethod
+    def whole(cls, universe: Sequence[int]) -> "Partition":
+        """The trivial one-part partition of ``universe``."""
+        ordered = tuple(sorted(universe))
+        if not ordered:
+            return cls(parts=(VertexInterval((), 0, -1),))
+        return cls(parts=(VertexInterval(ordered, 0, len(ordered) - 1),))
+
+    @property
+    def universe(self) -> tuple[int, ...]:
+        for part in self.parts:
+            if part.universe:
+                return part.universe
+        return ()
+
+    def __len__(self) -> int:
+        return len(self.parts)
+
+    def __getitem__(self, index: int) -> VertexInterval:
+        return self.parts[index]
+
+    def __iter__(self) -> Iterator[VertexInterval]:
+        return iter(self.parts)
+
+    def part_containing(self, vertex: int) -> int:
+        """Index of the part containing ``vertex`` (raises if absent)."""
+        for index, part in enumerate(self.parts):
+            if part.contains(vertex):
+                return index
+        raise KeyError(f"vertex {vertex} is in no part of this partition")
+
+    def covers_universe(self) -> bool:
+        """Whether the parts exactly tile the universe without overlap."""
+        covered: list[int] = []
+        for part in self.parts:
+            covered.extend(part.vertices())
+        return sorted(covered) == list(self.universe) and len(covered) == len(set(covered))
+
+    def max_part_size(self) -> int:
+        return max((part.size for part in self.parts), default=0)

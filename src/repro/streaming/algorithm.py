@@ -1,0 +1,94 @@
+"""The partial-pass streaming algorithm abstraction (Section 3).
+
+A partial-pass streaming algorithm for parameters
+``(L, N_in, N_out, B_aux, B_write)`` processes a stream of ``N_in`` main
+tokens, may inspect the auxiliary tokens of at most ``B_aux`` of them, writes
+at most ``N_out`` output tokens with at most ``B_write`` writes between reads
+of consecutive main tokens, and keeps state polynomial in
+``L = O(polylog n)`` bits.
+
+Concrete algorithms (the partition-tree layer constructions of Lemmas 17 and
+29, the message balancer of Algorithm 1 / Lemma 20) subclass
+:class:`PartialPassAlgorithm` and implement :meth:`process`, driving the
+stream exclusively through its READ / GET-AUX / WRITE interface — which makes
+the declared budgets machine-checked.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any
+
+from repro.streaming.stream import Stream, StreamAccessLog
+
+
+@dataclass(frozen=True)
+class StreamingParameters:
+    """The parameter tuple of a partial-pass streaming algorithm.
+
+    Attributes:
+        token_bits: ``L`` -- maximum token length in bits (polylog n).
+        n_in: ``N_in`` -- number of main tokens in the input stream.
+        n_out: ``N_out`` -- maximum number of output tokens.
+        b_aux: ``B_aux`` -- maximum number of GET-AUX operations.
+        b_write: ``B_write`` -- maximum number of WRITE operations between
+            reads of consecutive main tokens.
+    """
+
+    token_bits: int
+    n_in: int
+    n_out: int
+    b_aux: int
+    b_write: int
+
+    def validate_log(self, log: StreamAccessLog) -> None:
+        """Check an access log against the declared budgets."""
+        if log.get_aux_calls > self.b_aux:
+            raise AssertionError(
+                f"algorithm used {log.get_aux_calls} GET-AUX operations, "
+                f"declared B_aux={self.b_aux}"
+            )
+        if log.writes > self.n_out:
+            raise AssertionError(
+                f"algorithm wrote {log.writes} tokens, declared N_out={self.n_out}"
+            )
+        if log.max_writes_between_reads() > self.b_write:
+            raise AssertionError(
+                f"algorithm wrote {log.max_writes_between_reads()} tokens between "
+                f"consecutive reads, declared B_write={self.b_write}"
+            )
+
+
+class PartialPassAlgorithm(ABC):
+    """Base class of all partial-pass streaming algorithms.
+
+    Subclasses implement :meth:`process`, which receives the stream and must
+    only interact with it through ``read`` / ``get_aux`` / ``write``.  The
+    driver (:func:`run_reference`) builds the stream with the declared
+    budgets so violations surface as :class:`~repro.streaming.stream.StreamBudgetError`.
+    """
+
+    @abstractmethod
+    def parameters(self) -> StreamingParameters:
+        """The declared parameter tuple of this algorithm."""
+
+    @abstractmethod
+    def process(self, stream: Stream) -> None:
+        """Run the algorithm over ``stream`` (must use only the stream API)."""
+
+    def run_reference(self, stream: Stream) -> list[Any]:
+        """Run centrally over ``stream`` and return the output tokens.
+
+        This is the semantic reference execution: the distributed simulation
+        of Theorem 11 produces exactly the same output stream, only
+        distributed over cluster vertices.
+        """
+        self.process(stream)
+        self.parameters().validate_log(stream.log)
+        return list(stream.output)
+
+    def enforce_budgets(self, tokens) -> Stream:
+        """Build a budget-enforcing stream for this algorithm's parameters."""
+        params = self.parameters()
+        return Stream(tokens, b_aux=params.b_aux, b_write=params.b_write)

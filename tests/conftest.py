@@ -1,0 +1,52 @@
+"""Shared fixtures for the test suite: small deterministic workload graphs."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.graphs import (
+    clustered_communities,
+    erdos_renyi,
+    expander_like,
+    planted_cliques,
+    ring_of_cliques,
+)
+
+
+@pytest.fixture(scope="session")
+def small_dense_graph() -> nx.Graph:
+    """A dense 40-vertex graph with many triangles and K4s."""
+    return erdos_renyi(40, 14.0, seed=7)
+
+
+@pytest.fixture(scope="session")
+def planted_graph() -> nx.Graph:
+    """Sparse background plus planted K5s (so K3..K5 all exist)."""
+    return planted_cliques(70, 5, 6, background_avg_degree=4.0, seed=11)
+
+
+@pytest.fixture(scope="session")
+def community_graph() -> nx.Graph:
+    """Planted-partition graph: the natural expander-decomposition workload."""
+    return clustered_communities(4, 18, intra_p=0.6, inter_p=0.02, seed=3)
+
+
+@pytest.fixture(scope="session")
+def expander_graph() -> nx.Graph:
+    """Random regular graph: a single high-conductance cluster."""
+    return expander_like(48, degree=8, seed=5)
+
+
+@pytest.fixture(scope="session")
+def clique_ring() -> nx.Graph:
+    """Fully deterministic ring of cliques with known clique counts."""
+    return ring_of_cliques(6, 6)
+
+
+@pytest.fixture(scope="session")
+def tiny_triangle_graph() -> nx.Graph:
+    """A handful of vertices with exactly two triangles sharing an edge."""
+    graph = nx.Graph()
+    graph.add_edges_from([(0, 1), (1, 2), (0, 2), (2, 3), (1, 3), (3, 4)])
+    return graph

@@ -1,0 +1,75 @@
+"""Tests of the analysis helpers: power-law fits and report tables."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    ExperimentTable,
+    ScalingFit,
+    fit_power_law,
+    format_table,
+    normalized_rounds,
+    predicted_exponent,
+)
+from repro.congest.cost import polylog_overhead
+
+
+class TestPowerLawFit:
+    def test_exact_power_law_recovered(self):
+        xs = [10, 100, 1000, 10_000]
+        ys = [3 * x ** 0.5 for x in xs]
+        fit = fit_power_law(xs, ys)
+        assert fit.exponent == pytest.approx(0.5, abs=1e-9)
+        assert fit.constant == pytest.approx(3.0, rel=1e-6)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_prediction(self):
+        fit = ScalingFit(exponent=2.0, constant=1.5, r_squared=1.0)
+        assert fit.predict(4) == pytest.approx(24.0)
+
+    def test_noisy_data_r_squared_below_one(self):
+        xs = [10, 20, 40, 80, 160]
+        ys = [x ** 0.7 * (1.3 if i % 2 else 0.8) for i, x in enumerate(xs)]
+        fit = fit_power_law(xs, ys)
+        assert 0.3 < fit.exponent < 1.1
+        assert fit.r_squared < 1.0
+
+    def test_insufficient_data_rejected(self):
+        with pytest.raises(ValueError):
+            fit_power_law([10], [5])
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2], [3])
+
+
+class TestPredictedExponent:
+    def test_paper_targets(self):
+        assert predicted_exponent(3) == pytest.approx(1 / 3)
+        assert predicted_exponent(4) == pytest.approx(1 / 2)
+        assert predicted_exponent(5) == pytest.approx(3 / 5)
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            predicted_exponent(2)
+
+
+class TestNormalizedRounds:
+    def test_divides_by_overhead(self):
+        overhead = polylog_overhead()
+        assert normalized_rounds(100.0, 1024, overhead) == pytest.approx(10.0)
+
+
+class TestExperimentTable:
+    def test_render_contains_all_cells(self):
+        table = ExperimentTable(title="demo", columns=["rounds", "ok"])
+        table.add_row("n=10", rounds=12, ok=True)
+        table.add_row("n=20", rounds=34.5678, ok=False)
+        text = format_table(table)
+        assert "demo" in text
+        assert "n=10" in text and "12" in text
+        assert "34.6" in text  # floats rendered with 3 significant digits
+
+    def test_unknown_column_rejected(self):
+        table = ExperimentTable(title="demo", columns=["a"])
+        with pytest.raises(KeyError):
+            table.add_row("x", b=1)

@@ -1,0 +1,156 @@
+"""Tests of communication clusters (Definitions 7, 15, 24) and cluster routing."""
+
+import networkx as nx
+import pytest
+
+from repro.congest.cost import CostAccountant, unit_overhead
+from repro.decomposition.cluster import (
+    CommunicationCluster,
+    K3CompatibleCluster,
+    KpCompatibleCluster,
+    augmented_edge_set,
+    build_communication_cluster,
+    core_edge_set,
+    core_vertices,
+)
+from repro.decomposition.routing import ClusterRouter
+from repro.graphs import clustered_communities, erdos_renyi
+
+
+def _whole_graph_cluster(graph, delta):
+    return build_communication_cluster(graph, graph.edges, delta=delta)
+
+
+class TestCoreConstructions:
+    def test_core_vertices_majority_rule(self):
+        # Vertex 0 has 3 edges inside the "cluster" {0,1,2,3} and 1 outside.
+        graph = nx.Graph()
+        graph.add_edges_from([(0, 1), (0, 2), (0, 3), (0, 4), (1, 2)])
+        cluster_edges = [(0, 1), (0, 2), (0, 3), (1, 2)]
+        core = core_vertices(graph, cluster_edges)
+        assert 0 in core
+        assert 1 in core and 2 in core
+        assert 4 not in core
+
+    def test_core_edges_subset_of_cluster_edges(self, community_graph):
+        some_edges = list(community_graph.edges)[: community_graph.number_of_edges() // 2]
+        core_edges = core_edge_set(community_graph, some_edges)
+        assert core_edges <= {tuple(sorted(e)) for e in some_edges}
+
+    def test_augmented_edges_superset(self, community_graph):
+        some_edges = list(community_graph.edges)[: community_graph.number_of_edges() // 2]
+        augmented = augmented_edge_set(community_graph, some_edges)
+        assert {tuple(sorted(e)) for e in some_edges} <= augmented
+
+
+class TestCommunicationCluster:
+    def test_v_minus_respects_delta(self, small_dense_graph):
+        cluster = _whole_graph_cluster(small_dense_graph, delta=5)
+        cluster.validate()
+        for vertex in cluster.v_minus:
+            assert cluster.communication_degree(vertex) >= 5
+
+    def test_notation_sizes(self, small_dense_graph):
+        cluster = _whole_graph_cluster(small_dense_graph, delta=1)
+        assert cluster.n == small_dense_graph.number_of_nodes()
+        assert cluster.big_k == small_dense_graph.number_of_nodes()
+        assert cluster.k == len(cluster.v_minus)
+
+    def test_v_star_has_at_least_half_average_degree(self, small_dense_graph):
+        cluster = _whole_graph_cluster(small_dense_graph, delta=3)
+        mu = cluster.mu
+        for vertex in cluster.v_star:
+            assert cluster.communication_degree(vertex) >= mu / 2
+
+    def test_v_star_volume_at_least_half(self, small_dense_graph):
+        """The counting argument inside Lemma 20: Vol(V*) >= Vol(V^-)/2."""
+        cluster = _whole_graph_cluster(small_dense_graph, delta=3)
+        star_volume = sum(cluster.communication_degree(v) for v in cluster.v_star)
+        total_volume = sum(cluster.communication_degree(v) for v in cluster.v_minus)
+        assert star_volume * 2 >= total_volume
+
+    def test_ordered_members_sorted(self, small_dense_graph):
+        cluster = _whole_graph_cluster(small_dense_graph, delta=3)
+        members = cluster.ordered_members()
+        assert members == sorted(members)
+
+    def test_low_degree_partition(self, small_dense_graph):
+        cluster = _whole_graph_cluster(small_dense_graph, delta=1000)
+        assert cluster.k == 0
+        assert cluster.v_low == frozenset(small_dense_graph.nodes)
+
+
+class TestK3CompatibleCluster:
+    def test_delta_is_cube_root_of_cluster_size(self, small_dense_graph):
+        cluster = K3CompatibleCluster.from_edges(small_dense_graph, small_dense_graph.edges)
+        assert cluster.delta == pytest.approx(cluster.big_k ** (1 / 3))
+
+
+class TestKpCompatibleCluster:
+    def test_requires_p_above_three(self, small_dense_graph):
+        with pytest.raises(ValueError):
+            KpCompatibleCluster.from_edges(small_dense_graph, small_dense_graph.edges, p=3)
+
+    def test_boundary_edges_point_into_v_minus(self, community_graph):
+        edges = [e for e in community_graph.edges if e[0] < 30 and e[1] < 30]
+        cluster = KpCompatibleCluster.from_edges(community_graph, edges, p=4, delta=2)
+        cluster.attach_boundary_edges()
+        for tail, head in cluster.e_bar:
+            assert head in cluster.v_minus
+            assert tail not in cluster.v_minus
+            assert community_graph.has_edge(tail, head)
+
+    def test_import_requires_member_holder(self, community_graph):
+        edges = [e for e in community_graph.edges if e[0] < 30 and e[1] < 30]
+        cluster = KpCompatibleCluster.from_edges(community_graph, edges, p=4, delta=2)
+        outsider = max(community_graph.nodes)
+        with pytest.raises(ValueError):
+            cluster.import_outside_edges([(1, 2)], holder=outsider)
+
+    def test_deg_star_counts_imported_edges(self, community_graph):
+        edges = [e for e in community_graph.edges if e[0] < 30 and e[1] < 30]
+        cluster = KpCompatibleCluster.from_edges(community_graph, edges, p=4, delta=2)
+        cluster.attach_boundary_edges()
+        holder = cluster.ordered_members()[0]
+        cluster.import_outside_edges([(60, 61), (60, 62)], holder=holder)
+        cluster.compute_deg_star()
+        assert cluster.input_degree(60) == 2 + sum(1 for u, _ in cluster.e_bar if u == 60)
+
+    def test_split_graph_parts_cover_all_vertices(self, community_graph):
+        edges = [e for e in community_graph.edges if e[0] < 30 and e[1] < 30]
+        cluster = KpCompatibleCluster.from_edges(community_graph, edges, p=4, delta=2)
+        v1, v2 = cluster.split_graph_parts()
+        assert v1 | v2 == set(community_graph.nodes)
+        assert not v1 & v2
+
+
+class TestClusterRouter:
+    def _router(self, graph, delta=3):
+        cluster = _whole_graph_cluster(graph, delta=delta)
+        accountant = CostAccountant(n=graph.number_of_nodes(), overhead=unit_overhead())
+        return ClusterRouter(cluster=cluster, accountant=accountant)
+
+    def test_route_rounds_scale_with_load(self, small_dense_graph):
+        router = self._router(small_dense_graph)
+        small = router.route(max_words_per_vertex=10)
+        large = router.route(max_words_per_vertex=1000)
+        assert large > small
+
+    def test_route_proportional_ignores_degree_spread(self, small_dense_graph):
+        router = self._router(small_dense_graph)
+        assert router.route_proportional(load_per_degree=7) == 7
+
+    def test_broadcast_and_chain_charge_rounds(self, small_dense_graph):
+        router = self._router(small_dense_graph)
+        before = router.accountant.metrics.rounds
+        router.broadcast(total_words=50)
+        router.chain_passes(passes=4, state_words=8)
+        router.diameter_rounds()
+        assert router.accountant.metrics.rounds > before
+
+    def test_phase_prefixing(self, small_dense_graph):
+        cluster = _whole_graph_cluster(small_dense_graph, delta=3)
+        accountant = CostAccountant(n=40, overhead=unit_overhead())
+        router = ClusterRouter(cluster=cluster, accountant=accountant, phase_prefix="abc")
+        router.route(max_words_per_vertex=10, phase="xyz")
+        assert any(key.startswith("abc:xyz") for key in accountant.metrics.phase_rounds)

@@ -1,0 +1,99 @@
+"""Tests of the cost-accounted executor primitives."""
+
+import pytest
+
+from repro.congest.cost import (
+    BandwidthModel,
+    CostAccountant,
+    polylog_overhead,
+    subpolynomial_overhead,
+    unit_overhead,
+)
+
+
+class TestOverheadModels:
+    def test_unit_overhead_is_one(self):
+        assert unit_overhead()(10) == 1.0
+        assert unit_overhead()(10**6) == 1.0
+
+    def test_polylog_overhead_grows_slowly(self):
+        overhead = polylog_overhead()
+        assert overhead(2) == pytest.approx(1.0)
+        assert overhead(1024) == pytest.approx(10.0)
+        assert overhead(1024) < overhead(10**6)
+
+    def test_subpolynomial_dominates_polylog_eventually(self):
+        poly = polylog_overhead()
+        sub = subpolynomial_overhead()
+        n = 10**6
+        assert sub(n) > poly(n)
+
+    def test_overhead_is_at_least_one(self):
+        assert polylog_overhead()(2) >= 1.0
+        assert subpolynomial_overhead()(2) >= 1.0
+
+
+class TestBandwidthModel:
+    def test_zero_load_costs_nothing(self):
+        assert BandwidthModel(n=100, min_degree=5).rounds_for_load(0) == 0
+
+    def test_rounds_are_ceiling_of_load_over_degree(self):
+        model = BandwidthModel(n=100, min_degree=4)
+        assert model.rounds_for_load(4) == 1
+        assert model.rounds_for_load(5) == 2
+        assert model.rounds_for_load(17) == 5
+
+    def test_degenerate_degree_treated_as_one(self):
+        assert BandwidthModel(n=100, min_degree=0).rounds_for_load(3) == 3
+
+
+class TestCostAccountant:
+    def test_rejects_empty_network(self):
+        with pytest.raises(ValueError):
+            CostAccountant(n=0)
+
+    def test_local_rounds_rounds_up(self):
+        accountant = CostAccountant(n=16, overhead=unit_overhead())
+        assert accountant.local_rounds(2.3, phase="x") == 3
+        assert accountant.metrics.rounds == 3
+
+    def test_route_within_cluster_applies_overhead(self):
+        accountant = CostAccountant(n=1024, overhead=polylog_overhead())
+        rounds = accountant.route_within_cluster(
+            max_words_per_vertex=100, min_degree=10, phase="r"
+        )
+        assert rounds == 100  # ceil(100/10) * log2(1024)
+        assert accountant.metrics.rounds == 100
+
+    def test_direct_exchange_uses_max_of_send_and_receive(self):
+        accountant = CostAccountant(n=16, overhead=unit_overhead())
+        rounds = accountant.direct_exchange(
+            max_words_sent_per_vertex=3,
+            max_words_received_per_vertex=9,
+            min_degree=3,
+            phase="d",
+        )
+        assert rounds == 3
+
+    def test_broadcast_scales_with_total_and_log_cluster(self):
+        accountant = CostAccountant(n=1024, overhead=unit_overhead())
+        small = accountant.broadcast_in_cluster(
+            total_words=10, cluster_size=4, min_degree=5, phase="b1"
+        )
+        large = accountant.broadcast_in_cluster(
+            total_words=1000, cluster_size=4, min_degree=5, phase="b2"
+        )
+        assert large > small
+
+    def test_chain_state_passes_linear_in_passes(self):
+        accountant = CostAccountant(n=16, overhead=unit_overhead())
+        one = accountant.chain_state_passes(passes=1, state_words=4, min_degree=8, phase="c")
+        ten = accountant.chain_state_passes(passes=10, state_words=4, min_degree=8, phase="c")
+        assert ten == 10 * one
+
+    def test_phase_report_sorted_by_cost(self):
+        accountant = CostAccountant(n=16, overhead=unit_overhead())
+        accountant.local_rounds(1, phase="small")
+        accountant.local_rounds(10, phase="big")
+        report = accountant.phase_report()
+        assert list(report)[0] == "big"

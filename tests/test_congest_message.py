@@ -1,0 +1,78 @@
+"""Unit tests for CONGEST message sizing and inboxes."""
+
+import pytest
+
+from repro.congest.message import (
+    Inbox,
+    Message,
+    message_size_bits,
+    word_size_bits,
+    words_for_payload,
+)
+
+
+class TestWordSize:
+    def test_minimum_word_size(self):
+        assert word_size_bits(2) == 8
+        assert word_size_bits(1) == 8
+
+    def test_grows_logarithmically(self):
+        assert word_size_bits(1 << 20) == 20
+        assert word_size_bits((1 << 20) + 1) == 21
+
+    def test_monotone(self):
+        sizes = [word_size_bits(n) for n in (2, 10, 100, 10_000, 10**6)]
+        assert sizes == sorted(sizes)
+
+
+class TestWordsForPayload:
+    def test_scalars_cost_one_word(self):
+        assert words_for_payload(42, 1000) == 1
+        assert words_for_payload(3.14, 1000) == 1
+        assert words_for_payload(None, 1000) == 1
+        assert words_for_payload(True, 1000) == 1
+
+    def test_tuple_costs_sum_plus_framing(self):
+        assert words_for_payload((1, 2, 3), 1000) == 4
+
+    def test_nested_structures(self):
+        payload = {1: (2, 3), 4: 5}
+        # framing(1) + key(1)+tuple(3) + key(1)+value(1)
+        assert words_for_payload(payload, 1000) == 7
+
+    def test_long_adjacency_list_is_linear(self):
+        short = words_for_payload(tuple(range(10)), 1000)
+        long = words_for_payload(tuple(range(100)), 1000)
+        assert long - short == 90
+
+    def test_message_size_bits_multiplies_word_size(self):
+        assert message_size_bits((1, 2), 1 << 16) == 3 * 16
+
+
+class TestMessage:
+    def test_words_delegates_to_payload(self):
+        message = Message(sender=0, receiver=1, tag="t", payload=(1, 2, 3))
+        assert message.words(1000) == 4
+
+    def test_messages_are_frozen(self):
+        message = Message(sender=0, receiver=1)
+        with pytest.raises(AttributeError):
+            message.sender = 5  # type: ignore[misc]
+
+
+class TestInbox:
+    def test_by_tag_filters(self):
+        inbox = Inbox(
+            messages=[
+                Message(0, 1, tag="a", payload=1),
+                Message(2, 1, tag="b", payload=2),
+                Message(3, 1, tag="a", payload=3),
+            ]
+        )
+        assert [m.payload for m in inbox.by_tag("a")] == [1, 3]
+        assert len(inbox) == 3
+
+    def test_clear(self):
+        inbox = Inbox(messages=[Message(0, 1)])
+        inbox.clear()
+        assert len(inbox) == 0

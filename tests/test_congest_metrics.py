@@ -1,0 +1,53 @@
+"""Unit tests for the shared round/message counters."""
+
+import pytest
+
+from repro.congest.metrics import CongestMetrics
+
+
+class TestCongestMetrics:
+    def test_add_rounds_accumulates_and_attributes(self):
+        metrics = CongestMetrics()
+        metrics.add_rounds(5, phase="a")
+        metrics.add_rounds(3, phase="b")
+        metrics.add_rounds(2, phase="a")
+        assert metrics.rounds == 10
+        assert metrics.phase_rounds["a"] == 7
+        assert metrics.phase_rounds["b"] == 3
+
+    def test_add_messages_tracks_words_separately(self):
+        metrics = CongestMetrics()
+        metrics.add_messages(4, phase="x", words=12)
+        assert metrics.messages == 4
+        assert metrics.words == 12
+
+    def test_words_default_to_messages(self):
+        metrics = CongestMetrics()
+        metrics.add_messages(4)
+        assert metrics.words == 4
+
+    def test_negative_values_rejected(self):
+        metrics = CongestMetrics()
+        with pytest.raises(ValueError):
+            metrics.add_rounds(-1)
+        with pytest.raises(ValueError):
+            metrics.add_messages(-2)
+
+    def test_merge(self):
+        left = CongestMetrics()
+        left.add_rounds(2, phase="p")
+        right = CongestMetrics()
+        right.add_rounds(3, phase="p")
+        right.add_messages(7, phase="q")
+        left.merge(right)
+        assert left.rounds == 5
+        assert left.phase_rounds["p"] == 5
+        assert left.messages == 7
+
+    def test_snapshot_and_reset(self):
+        metrics = CongestMetrics()
+        metrics.add_rounds(1)
+        metrics.add_messages(2)
+        assert metrics.snapshot() == {"rounds": 1, "messages": 2, "words": 2}
+        metrics.reset()
+        assert metrics.snapshot() == {"rounds": 0, "messages": 0, "words": 0}

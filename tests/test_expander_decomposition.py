@@ -1,0 +1,105 @@
+"""Tests of the deterministic expander decomposition (Theorem 5 substitute)."""
+
+import networkx as nx
+import pytest
+
+from repro.congest.cost import CostAccountant, unit_overhead
+from repro.decomposition.expander import (
+    decomposition_round_cost,
+    expander_decompose,
+    recursive_decomposition_schedule,
+    sparsest_sweep_cut,
+)
+from repro.graphs import clustered_communities, erdos_renyi, ring_of_cliques
+from repro.graphs.properties import graph_conductance_estimate
+
+
+class TestSweepCut:
+    def test_trivial_graphs(self):
+        empty_cut, value = sparsest_sweep_cut(nx.empty_graph(3))
+        assert empty_cut == set()
+        assert value == float("inf")
+
+    def test_barbell_cut_separates_the_bells(self):
+        graph = nx.barbell_graph(8, 0)
+        cut, value = sparsest_sweep_cut(graph)
+        assert value < 0.05
+        assert len(cut) == 8
+
+    def test_clique_has_no_sparse_cut(self):
+        _, value = sparsest_sweep_cut(nx.complete_graph(12))
+        assert value > 0.4
+
+
+class TestExpanderDecomposition:
+    def test_epsilon_validation(self):
+        with pytest.raises(ValueError):
+            expander_decompose(nx.complete_graph(4), epsilon=0.0)
+
+    def test_partition_of_edges_is_exact(self, community_graph):
+        decomposition = expander_decompose(community_graph, epsilon=0.2)
+        decomposition.validate()
+
+    def test_clusters_are_vertex_disjoint(self, community_graph):
+        decomposition = expander_decompose(community_graph, epsilon=0.2)
+        seen = set()
+        for cluster in decomposition.clusters:
+            assert not (seen & cluster.vertices)
+            seen |= cluster.vertices
+
+    def test_remainder_fraction_small_on_community_graph(self, community_graph):
+        decomposition = expander_decompose(community_graph, epsilon=0.2)
+        assert decomposition.remainder_fraction() <= 0.2
+
+    def test_expander_stays_whole(self, expander_graph):
+        decomposition = expander_decompose(expander_graph, epsilon=0.15)
+        assert decomposition.num_clusters == 1
+        assert decomposition.remainder_fraction() == 0.0
+
+    def test_clusters_have_certified_conductance(self, community_graph):
+        decomposition = expander_decompose(community_graph, epsilon=0.2)
+        for cluster in decomposition.clusters:
+            if cluster.num_vertices < 3:
+                continue
+            measured = graph_conductance_estimate(cluster.subgraph())
+            assert measured >= decomposition.phi * 0.5
+
+    def test_ring_of_cliques_splits_into_clusters(self):
+        graph = ring_of_cliques(12, 8)
+        decomposition = expander_decompose(graph, epsilon=0.3)
+        assert decomposition.num_clusters >= 2
+        assert decomposition.remainder_fraction() < 0.3
+
+    def test_cluster_of_vertex_map(self, community_graph):
+        decomposition = expander_decompose(community_graph, epsilon=0.2)
+        mapping = decomposition.cluster_of_vertex()
+        for cluster in decomposition.clusters:
+            for vertex in cluster.vertices:
+                assert mapping[vertex] == cluster.index
+
+    def test_round_cost_charged_to_accountant(self):
+        graph = erdos_renyi(40, 8.0, seed=1)
+        accountant = CostAccountant(n=40, overhead=unit_overhead())
+        expander_decompose(graph, epsilon=0.2, accountant=accountant)
+        assert accountant.metrics.rounds > 0
+        assert "expander-decomposition" in accountant.metrics.phase_rounds
+
+    def test_decomposition_cost_is_subpolynomial(self):
+        # The CS20 cost is n^{o(1)}: eventually below any fixed polynomial,
+        # and its growth factor over a squared input is far below polynomial.
+        assert decomposition_round_cost(10**12, 0.1) < (10**12) ** 0.5
+        growth = decomposition_round_cost(10**8, 0.1) / decomposition_round_cost(10**4, 0.1)
+        assert growth < (10**8 / 10**4) ** 0.5
+
+
+class TestRecursiveSchedule:
+    def test_schedule_terminates_and_shrinks(self, community_graph):
+        levels = list(recursive_decomposition_schedule(community_graph, epsilon=0.2))
+        assert levels
+        sizes = [current.number_of_edges() for _, _, current in levels]
+        assert all(later < earlier for earlier, later in zip(sizes, sizes[1:]))
+
+    def test_depth_is_logarithmic(self, community_graph):
+        levels = list(recursive_decomposition_schedule(community_graph, epsilon=0.2))
+        m = community_graph.number_of_edges()
+        assert len(levels) <= 2 * (m.bit_length()) + 4

@@ -1,0 +1,98 @@
+"""Cross-module integration tests: the full pipeline on realistic workloads."""
+
+import networkx as nx
+import pytest
+
+from repro import TriangleListing, list_cliques, list_triangles, validate_listing
+from repro.baselines import congested_clique_listing, cs20_triangle_listing, naive_listing
+from repro.congest.cost import unit_overhead
+from repro.graphs import (
+    clustered_communities,
+    count_cliques,
+    erdos_renyi,
+    planted_cliques,
+)
+
+
+class TestFullPipelineAgreement:
+    """All four independent listing strategies must agree exactly."""
+
+    def test_all_strategies_agree_on_triangles(self):
+        graph = planted_cliques(80, 4, 8, background_avg_degree=4.0, seed=13)
+        deterministic = list_triangles(graph).cliques
+        naive = naive_listing(graph, p=3).cliques
+        clique_model, _ = congested_clique_listing(graph, p=3)
+        cs20 = cs20_triangle_listing(graph).cliques
+        assert deterministic == naive == clique_model.cliques == cs20
+
+    def test_all_strategies_agree_on_k4(self):
+        graph = planted_cliques(60, 5, 5, background_avg_degree=3.0, seed=17)
+        deterministic = list_cliques(graph, 4).cliques
+        naive = naive_listing(graph, p=4).cliques
+        clique_model, _ = congested_clique_listing(graph, p=4)
+        assert deterministic == naive == clique_model.cliques
+
+
+class TestScalingShape:
+    """Coarse sanity checks of the round-complexity shape (full sweeps live in
+    the benchmark harness)."""
+
+    def test_triangle_rounds_grow_sublinearly_on_dense_graphs(self):
+        small_n, large_n = 80, 320
+        small = list_triangles(erdos_renyi(small_n, 0.3 * small_n, seed=2),
+                               overhead=unit_overhead())
+        large = list_triangles(erdos_renyi(large_n, 0.3 * large_n, seed=2),
+                               overhead=unit_overhead())
+        growth = large.rounds / max(1, small.rounds)
+        assert growth < (large_n / small_n)  # strictly sublinear in n
+
+    def test_new_algorithm_grows_slower_than_naive_on_dense_graphs(self):
+        """Naive neighbourhood exchange is Θ(Δ) = Θ(n) on dense graphs; the
+        paper's algorithm grows like n^{1/3+o(1)}, so its growth factor over a
+        4x size increase must be strictly smaller."""
+        small_n, large_n = 100, 400
+        small_graph = erdos_renyi(small_n, 0.4 * small_n, seed=5)
+        large_graph = erdos_renyi(large_n, 0.4 * large_n, seed=5)
+        new_small = list_triangles(small_graph, overhead=unit_overhead())
+        new_large = list_triangles(large_graph, overhead=unit_overhead())
+        assert new_large.cliques == naive_listing(large_graph, p=3).cliques
+        naive_growth = naive_listing(large_graph, p=3).rounds / naive_listing(small_graph, p=3).rounds
+        new_growth = new_large.rounds / max(1, new_small.rounds)
+        assert new_growth < naive_growth
+
+
+class TestRecursionBehaviour:
+    def test_multi_level_recursion_on_community_graphs(self):
+        graph = clustered_communities(5, 14, intra_p=0.6, inter_p=0.06, seed=2)
+        result = list_triangles(graph)
+        assert validate_listing(graph, result).correct
+        assert result.levels >= 1
+        # Residual edges must shrink monotonically across levels.
+        residuals = [report.residual_edges for report in result.level_reports]
+        assert residuals == sorted(residuals, reverse=True)
+
+    def test_fallback_covers_pathological_graphs(self):
+        """A star graph has no dense clusters; the safety net must still give
+        a correct (empty) answer without crashing."""
+        graph = nx.star_graph(40)
+        result = list_triangles(graph)
+        assert result.cliques == set()
+
+    def test_max_levels_one_still_correct_via_fallback(self):
+        graph = clustered_communities(3, 16, intra_p=0.5, inter_p=0.05, seed=9)
+        result = TriangleListing(max_levels=1).run(graph)
+        assert validate_listing(graph, result).correct
+
+
+class TestWorkloadGroundTruths:
+    def test_planted_cliques_all_found(self):
+        graph = planted_cliques(90, 5, 7, background_avg_degree=2.0, seed=23)
+        for p in (3, 4, 5):
+            result = list_cliques(graph, p)
+            assert len(result.cliques) == count_cliques(graph, p)
+
+    def test_disconnected_graph(self):
+        graph = nx.disjoint_union(nx.complete_graph(5), nx.complete_graph(6))
+        graph = nx.convert_node_labels_to_integers(graph)
+        result = list_cliques(graph, 4)
+        assert validate_listing(graph, result).correct

@@ -1,0 +1,186 @@
+"""End-to-end tests of the deterministic listing algorithms (Theorems 32, 36)."""
+
+import networkx as nx
+import pytest
+
+from repro import CliqueListing, TriangleListing, list_cliques, list_triangles, validate_listing
+from repro.congest.cost import subpolynomial_overhead, unit_overhead
+from repro.graphs import (
+    clustered_communities,
+    enumerate_cliques,
+    erdos_renyi,
+    expander_like,
+    planted_cliques,
+    power_law,
+    ring_of_cliques,
+)
+from repro.listing.local import (
+    cliques_through_vertex,
+    exhaustive_rounds_bound,
+    two_hop_exhaustive_listing,
+)
+
+
+class TestExhaustiveLocalListing:
+    def test_rounds_bound_linear(self):
+        assert exhaustive_rounds_bound(10) == 20
+        assert exhaustive_rounds_bound(0) == 0
+
+    def test_cliques_through_vertex_complete_graph(self):
+        graph = nx.complete_graph(6)
+        assert len(cliques_through_vertex(graph, 0, 3)) == 10  # C(5,2)
+        assert len(cliques_through_vertex(graph, 0, 4)) == 10  # C(5,3)
+
+    def test_two_hop_covers_all_cliques_through_selected_vertices(self, planted_graph):
+        vertices = list(planted_graph.nodes)[:20]
+        outcome = two_hop_exhaustive_listing(planted_graph, vertices, p=3)
+        expected = set()
+        for vertex in vertices:
+            expected |= cliques_through_vertex(planted_graph, vertex, 3)
+        assert outcome.cliques == expected
+
+    def test_empty_vertex_set(self, planted_graph):
+        outcome = two_hop_exhaustive_listing(planted_graph, [], p=3)
+        assert outcome.cliques == set()
+        assert outcome.rounds == 0
+
+
+class TestTriangleListingCorrectness:
+    @pytest.mark.parametrize(
+        "graph_builder",
+        [
+            lambda: erdos_renyi(70, 12.0, seed=1),
+            lambda: planted_cliques(60, 4, 6, background_avg_degree=3.0, seed=2),
+            lambda: clustered_communities(3, 20, intra_p=0.5, inter_p=0.03, seed=4),
+            lambda: expander_like(60, degree=8, seed=5),
+            lambda: power_law(60, avg_degree=6.0, seed=6),
+            lambda: ring_of_cliques(6, 6),
+        ],
+        ids=["erdos-renyi", "planted", "communities", "expander", "power-law", "clique-ring"],
+    )
+    def test_lists_exactly_the_triangles(self, graph_builder):
+        graph = graph_builder()
+        report = validate_listing(graph, list_triangles(graph))
+        assert report.correct, report.summary()
+
+    def test_triangle_free_graph(self):
+        graph = nx.cycle_graph(30)
+        result = list_triangles(graph)
+        assert result.cliques == set()
+
+    def test_empty_and_tiny_graphs(self):
+        empty = nx.empty_graph(5)
+        assert list_triangles(empty).cliques == set()
+        single_triangle = nx.complete_graph(3)
+        assert list_triangles(single_triangle).cliques == {(0, 1, 2)}
+
+    def test_deterministic_across_runs(self):
+        graph = erdos_renyi(50, 10.0, seed=3)
+        first = list_triangles(graph)
+        second = list_triangles(graph)
+        assert first.cliques == second.cliques
+        assert first.rounds == second.rounds
+
+    def test_constraint_checked_run(self):
+        graph = erdos_renyi(60, 12.0, seed=9)
+        result = TriangleListing(check_tree_constraints=True).run(graph)
+        assert validate_listing(graph, result).correct
+
+
+class TestTriangleListingAccounting:
+    def test_rounds_positive_and_phases_recorded(self):
+        graph = erdos_renyi(60, 12.0, seed=2)
+        result = list_triangles(graph)
+        assert result.rounds > 0
+        assert any("decomposition" in phase for phase in result.metrics.phase_rounds)
+        assert any("clusters" in phase for phase in result.metrics.phase_rounds)
+
+    def test_level_reports_consistent(self):
+        graph = clustered_communities(3, 20, seed=7)
+        result = list_triangles(graph)
+        assert result.levels == len(result.level_reports)
+        for report in result.level_reports:
+            assert report.residual_edges > 0
+            assert 0 <= report.remainder_fraction <= 1
+
+    def test_recursion_depth_logarithmic(self):
+        graph = clustered_communities(4, 16, intra_p=0.5, inter_p=0.05, seed=1)
+        result = list_triangles(graph)
+        m = graph.number_of_edges()
+        assert result.levels <= 2 * m.bit_length() + 4
+
+    def test_overhead_model_affects_rounds(self):
+        graph = erdos_renyi(60, 12.0, seed=2)
+        cheap = TriangleListing(overhead=unit_overhead()).run(graph)
+        costly = TriangleListing(overhead=subpolynomial_overhead()).run(graph)
+        assert cheap.cliques == costly.cliques
+        assert costly.rounds > cheap.rounds
+
+    def test_duplication_factor_at_least_one(self):
+        graph = planted_cliques(50, 4, 5, seed=8)
+        result = list_triangles(graph)
+        if result.cliques:
+            assert result.duplication_factor >= 1.0
+
+
+class TestKpListingCorrectness:
+    @pytest.mark.parametrize("p", [4, 5])
+    def test_lists_exactly_the_cliques_planted(self, p, planted_graph):
+        report = validate_listing(planted_graph, list_cliques(planted_graph, p))
+        assert report.correct, report.summary()
+
+    @pytest.mark.parametrize("p", [4, 5])
+    def test_lists_exactly_the_cliques_dense(self, p, small_dense_graph):
+        report = validate_listing(small_dense_graph, list_cliques(small_dense_graph, p))
+        assert report.correct, report.summary()
+
+    def test_communities_k4(self, community_graph):
+        report = validate_listing(community_graph, list_cliques(community_graph, 4))
+        assert report.correct, report.summary()
+
+    def test_clique_free_graph(self):
+        graph = nx.cycle_graph(20)
+        assert list_cliques(graph, 4).cliques == set()
+
+    def test_dispatch_to_triangles_for_p3(self, tiny_triangle_graph):
+        result = list_cliques(tiny_triangle_graph, 3)
+        assert result.p == 3
+        assert result.cliques == enumerate_cliques(tiny_triangle_graph, 3)
+
+    def test_p_below_four_rejected_by_clique_listing(self):
+        with pytest.raises(ValueError):
+            CliqueListing(p=3)
+
+    def test_k6_on_small_graph(self):
+        graph = planted_cliques(40, 6, 3, background_avg_degree=2.0, seed=5)
+        report = validate_listing(graph, list_cliques(graph, 6))
+        assert report.correct, report.summary()
+
+    def test_deterministic_across_runs(self, planted_graph):
+        first = list_cliques(planted_graph, 4)
+        second = list_cliques(planted_graph, 4)
+        assert first.cliques == second.cliques
+        assert first.rounds == second.rounds
+
+
+class TestKpListingAccounting:
+    def test_rounds_positive(self, planted_graph):
+        result = list_cliques(planted_graph, 4)
+        assert result.rounds > 0
+
+    def test_k4_cheaper_than_k5_on_same_graph(self, small_dense_graph):
+        """The target complexity rises with p: n^{1/2} for K4 vs n^{3/5} for K5."""
+        k4 = list_cliques(small_dense_graph, 4)
+        k5 = list_cliques(small_dense_graph, 5)
+        assert k4.rounds <= k5.rounds * 1.5  # allow slack: same order, not wildly apart
+
+
+class TestValidationReport:
+    def test_report_flags_missing_and_spurious(self, tiny_triangle_graph):
+        result = list_triangles(tiny_triangle_graph)
+        result.cliques.discard((0, 1, 2))
+        result.cliques.add((0, 1, 4))  # not a triangle of the graph
+        report = validate_listing(tiny_triangle_graph, result)
+        assert not report.complete
+        assert not report.sound
+        assert "FAILED" in report.summary()

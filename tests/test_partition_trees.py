@@ -1,0 +1,322 @@
+"""Tests of partition trees: parts, tree structure, K3 and split constructions."""
+
+import itertools
+import math
+
+import networkx as nx
+import pytest
+
+from repro.congest.cost import CostAccountant, unit_overhead
+from repro.decomposition.cluster import K3CompatibleCluster, KpCompatibleCluster
+from repro.decomposition.routing import ClusterRouter
+from repro.graphs import erdos_renyi
+from repro.graphs.cliques import enumerate_cliques
+from repro.partition_trees import (
+    HTreeConstraints,
+    Partition,
+    PartitionTree,
+    SplitGraph,
+    SplitTreeConstraints,
+    VertexInterval,
+    balance_by_communication_degree,
+    construct_k3_partition_tree,
+    construct_split_kp_tree,
+    covering_leaf,
+)
+from repro.partition_trees.load_balance import MessageBalancer, amplifier_broadcast
+from repro.streaming.stream import MainToken, Stream
+
+
+class TestVertexIntervalAndPartition:
+    def test_interval_vertices_and_contains(self):
+        universe = tuple(range(0, 20, 2))
+        interval = VertexInterval(universe, 2, 5)
+        assert interval.vertices() == (4, 6, 8, 10)
+        assert interval.contains(6)
+        assert not interval.contains(7)
+        assert not interval.contains(12)
+        assert interval.endpoints() == (4, 10)
+
+    def test_empty_interval(self):
+        interval = VertexInterval(tuple(range(5)), 0, -1)
+        assert interval.size == 0
+        assert not interval.contains(0)
+        assert interval.endpoints() == (-1, -1)
+
+    def test_out_of_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            VertexInterval(tuple(range(3)), 0, 5)
+
+    def test_partition_from_boundaries_round_trip(self):
+        universe = [3, 5, 7, 9, 11]
+        partition = Partition.from_boundaries(universe, [(3, 5), (7, 7), (9, 11)])
+        assert partition.covers_universe()
+        assert partition.part_containing(7) == 1
+        assert partition.max_part_size() == 2
+
+    def test_whole_partition(self):
+        partition = Partition.whole([4, 2, 8])
+        assert partition.covers_universe()
+        assert len(partition) == 1
+
+
+def _uniform_tree(universe, layers, parts_per_node):
+    """A small hand-built partition tree splitting the universe evenly."""
+    ordered = sorted(universe)
+    chunk = math.ceil(len(ordered) / parts_per_node)
+    boundaries = [
+        (ordered[i * chunk], ordered[min(len(ordered), (i + 1) * chunk) - 1])
+        for i in range(math.ceil(len(ordered) / chunk))
+    ]
+    partition = Partition.from_boundaries(ordered, boundaries)
+    tree = PartitionTree.with_root(ordered, num_layers=layers, root_partition=partition)
+    frontier = [tree.root]
+    for _ in range(layers - 1):
+        next_frontier = []
+        for node in frontier:
+            for index in range(len(node.partition)):
+                next_frontier.append(node.add_child(index, partition))
+        frontier = next_frontier
+    return tree
+
+
+class TestPartitionTreeStructure:
+    def test_structure_validation(self):
+        tree = _uniform_tree(range(12), layers=3, parts_per_node=3)
+        tree.validate_structure(x=3)
+        assert len(tree.leaf_nodes()) == 9
+        assert len(tree.leaf_parts()) == 27
+
+    def test_ancestor_parts_length_equals_depth_plus_one(self):
+        tree = _uniform_tree(range(12), layers=3, parts_per_node=3)
+        node, part_index = tree.leaf_parts()[5]
+        ancestors = tree.ancestor_parts(node, part_index)
+        assert len(ancestors) == 3
+
+    def test_covering_leaf_theorem_13(self):
+        """Every triangle's edges run between the ancestor parts of its leaf."""
+        graph = erdos_renyi(12, 6.0, seed=3)
+        tree = _uniform_tree(range(12), layers=3, parts_per_node=3)
+        for triangle in enumerate_cliques(graph, 3):
+            node, part_index, chosen = covering_leaf(tree, list(triangle))
+            ancestors = tree.ancestor_parts(node, part_index)
+            covered = set()
+            for left, right in itertools.combinations(range(len(ancestors)), 2):
+                for u in ancestors[left].vertices():
+                    for v in ancestors[right].vertices():
+                        if graph.has_edge(u, v):
+                            covered.add(tuple(sorted((u, v))))
+            for u, v in itertools.combinations(triangle, 2):
+                assert tuple(sorted((u, v))) in covered
+
+    def test_covering_leaf_wrong_arity(self):
+        tree = _uniform_tree(range(12), layers=3, parts_per_node=3)
+        with pytest.raises(ValueError):
+            covering_leaf(tree, [1, 2])
+
+
+class TestHTreeConstraints:
+    def test_single_part_partitions_violate_size(self):
+        """A degenerate tree with one giant part violates SIZE for large k."""
+        universe = list(range(256))
+        partition = Partition.whole(universe)
+        tree = PartitionTree.with_root(universe, 3, partition)
+        child = tree.root.add_child(0, partition)
+        child.add_child(0, partition)
+        graph = erdos_renyi(256, 10.0, seed=1)
+        violations = HTreeConstraints(p=3).check_tree(tree, graph)
+        assert any("SIZE" in violation for violation in violations)
+
+
+class TestLoadBalanceLemmas:
+    def _cluster(self, n=60):
+        graph = erdos_renyi(n, 12.0, seed=8)
+        cluster = K3CompatibleCluster.from_edges(graph, graph.edges)
+        accountant = CostAccountant(n=n, overhead=unit_overhead())
+        return cluster, ClusterRouter(cluster=cluster, accountant=accountant)
+
+    def test_message_balancer_respects_budgets(self):
+        balancer = MessageBalancer(num_messages=50, total_comm_degree=200, mu=4.0, n=60, k=50)
+        tokens = [MainToken(index=i, owner=i, summary=(i, 4)) for i in range(50)]
+        outputs = balancer.run_reference(Stream(tokens, b_aux=0, b_write=1))
+        assert len(outputs) == 50
+
+    def test_balance_by_degree_covers_all_messages(self):
+        cluster, router = self._cluster()
+        num_messages = cluster.k
+        assignment = balance_by_communication_degree(cluster, router, num_messages)
+        owners = [assignment.owner_of_message(m) for m in range(1, num_messages + 1)]
+        assert all(owner is not None for owner in owners)
+        assert set(owners) <= set(cluster.v_star)
+
+    def test_balance_by_degree_proportional_loads(self):
+        """Lemma 20: each V* vertex gets O(deg/mu) messages."""
+        cluster, router = self._cluster()
+        num_messages = cluster.k
+        assignment = balance_by_communication_degree(cluster, router, num_messages)
+        mu = cluster.mu
+        for vertex in cluster.v_star:
+            load = len(assignment.messages_of(vertex, num_messages))
+            bound = 4 * (cluster.communication_degree(vertex) / mu) + 2
+            assert load <= bound
+
+    def test_low_degree_vertices_get_nothing(self):
+        cluster, router = self._cluster()
+        assignment = balance_by_communication_degree(cluster, router, cluster.k)
+        below_average = set(cluster.v_minus) - set(cluster.v_star)
+        for vertex in below_average:
+            assert assignment.ranges.get(vertex) is None
+
+    def test_amplifier_broadcast_reaches_everyone(self):
+        cluster, router = self._cluster()
+        members = cluster.ordered_members()
+        holders = {f"msg{i}": members[i % len(members)] for i in range(10)}
+        known = amplifier_broadcast(cluster, router, holders)
+        for audience in known.values():
+            assert audience == set(members)
+
+
+class TestK3Construction:
+    def _cluster(self, n=60, seed=8):
+        graph = erdos_renyi(n, 14.0, seed=seed)
+        cluster = K3CompatibleCluster.from_edges(graph, graph.edges)
+        accountant = CostAccountant(n=n, overhead=unit_overhead())
+        return graph, cluster, ClusterRouter(cluster=cluster, accountant=accountant)
+
+    def test_three_layers_and_universe(self):
+        _, cluster, router = self._cluster()
+        result = construct_k3_partition_tree(cluster, router=router)
+        assert result.tree.num_layers == 3
+        assert set(result.tree.universe) == set(cluster.ordered_members())
+        result.tree.validate_structure()
+
+    def test_definition_14_constraints_hold(self):
+        _, cluster, router = self._cluster()
+        result = construct_k3_partition_tree(cluster, router=router, check_constraints=True)
+        assert result.violations == []
+
+    def test_rounds_charged(self):
+        _, cluster, router = self._cluster()
+        result = construct_k3_partition_tree(cluster, router=router)
+        assert result.rounds > 0
+
+    def test_every_leaf_part_assigned_to_a_vstar_vertex(self):
+        _, cluster, router = self._cluster()
+        result = construct_k3_partition_tree(cluster, router=router)
+        assert len(result.assignment) == len(result.tree.leaf_parts())
+        assert set(result.assignment.owner.values()) <= set(cluster.v_star)
+
+    def test_leaf_load_balanced_by_degree(self):
+        """Theorem 16: each V* vertex owns O(deg/mu) leaf parts."""
+        _, cluster, router = self._cluster()
+        result = construct_k3_partition_tree(cluster, router=router)
+        mu = cluster.mu
+        total_parts = len(result.tree.leaf_parts())
+        k = cluster.k
+        for vertex, load in result.assignment.load_per_vertex().items():
+            bound = 4 * (total_parts / k) * (cluster.communication_degree(vertex) / mu) + 4
+            assert load <= bound
+
+    def test_every_triangle_covered_by_some_leaf(self):
+        """Theorem 13 applied to the constructed tree over V^-."""
+        graph, cluster, router = self._cluster()
+        result = construct_k3_partition_tree(cluster, router=router)
+        members = set(cluster.ordered_members())
+        inner_triangles = [
+            t for t in enumerate_cliques(graph, 3) if set(t) <= members
+        ]
+        for triangle in inner_triangles:
+            node, part_index, _ = covering_leaf(result.tree, list(triangle))
+            assert (node.path, part_index) in result.assignment.owner
+
+    def test_works_without_router(self):
+        _, cluster, _ = self._cluster()
+        result = construct_k3_partition_tree(cluster, router=None)
+        assert result.rounds == 0
+        assert len(result.assignment) > 0
+
+
+class TestSplitTree:
+    def _cluster(self, n=70, seed=5, p=4):
+        graph = erdos_renyi(n, 16.0, seed=seed)
+        core_edges = [e for e in graph.edges if e[0] < n // 2 and e[1] < n // 2]
+        cluster = KpCompatibleCluster.from_edges(graph, core_edges, p=p, delta=3)
+        cluster.attach_boundary_edges()
+        # Import E': every graph edge with both endpoints outside V^-.
+        members = set(cluster.v_minus)
+        holder = cluster.ordered_members()[0]
+        outside_edges = [
+            (u, v) for u, v in graph.edges if u not in members and v not in members
+        ]
+        cluster.import_outside_edges(outside_edges, holder=holder)
+        cluster.compute_deg_star()
+        accountant = CostAccountant(n=n, overhead=unit_overhead())
+        return graph, cluster, ClusterRouter(cluster=cluster, accountant=accountant)
+
+    def test_split_graph_edge_classification(self):
+        graph, cluster, _ = self._cluster()
+        split = SplitGraph.from_cluster(cluster)
+        assert split.v1 == cluster.v_minus
+        assert not split.v1 & split.v2
+        for u, v in split.e1:
+            assert u in split.v1 and v in split.v1
+        for u, v in split.e12:
+            assert (u in split.v1) != (v in split.v1)
+
+    def test_split_tree_layer_universes(self):
+        _, cluster, router = self._cluster()
+        result = construct_split_kp_tree(cluster, p=4, p_prime=2, router=router)
+        tree = result.tree
+        pi = 4 - 2
+        v1, v2 = set(result.split.v1), set(result.split.v2)
+        for node in tree.nodes():
+            universe = set(node.partition.universe)
+            if node.depth < pi:
+                assert universe <= v2
+            else:
+                assert universe <= v1
+
+    def test_split_tree_has_p_layers_and_valid_partitions(self):
+        _, cluster, router = self._cluster()
+        result = construct_split_kp_tree(cluster, p=4, p_prime=3, router=router)
+        assert result.tree.num_layers == 4
+        for node in result.tree.nodes():
+            assert node.partition.covers_universe()
+
+    def test_definition_22_constraints_hold(self):
+        _, cluster, router = self._cluster()
+        result = construct_split_kp_tree(cluster, p=4, p_prime=2, router=router,
+                                         check_constraints=True)
+        assert result.violations == []
+
+    def test_invalid_p_prime_rejected(self):
+        _, cluster, router = self._cluster()
+        with pytest.raises(ValueError):
+            construct_split_kp_tree(cluster, p=4, p_prime=1, router=router)
+
+    def test_rounds_charged(self):
+        _, cluster, router = self._cluster()
+        result = construct_split_kp_tree(cluster, p=4, p_prime=2, router=router)
+        assert result.rounds > 0
+
+    def test_theorem_23_coverage(self):
+        """Cliques with exactly p' vertices in V1 are covered by some leaf."""
+        graph, cluster, router = self._cluster()
+        result = construct_split_kp_tree(cluster, p=4, p_prime=2, router=router)
+        split = result.split
+        v1 = set(split.v1)
+        candidates = [
+            clique for clique in enumerate_cliques(graph, 4)
+            if len(set(clique) & v1) == 2
+        ][:10]
+        for clique in candidates:
+            outside = sorted(set(clique) - v1)
+            inside = sorted(set(clique) & v1)
+            ordered = outside + inside  # V2 vertices choose first, then V1
+            node, part_index, chosen = covering_leaf(result.tree, ordered)
+            ancestors = result.tree.ancestor_parts(node, part_index)
+            learned = set()
+            for a, b in itertools.combinations(range(len(ancestors)), 2):
+                learned |= split.edges_between(ancestors[a].vertices(), ancestors[b].vertices())
+            for u, v in itertools.combinations(clique, 2):
+                assert tuple(sorted((u, v))) in learned

@@ -1,0 +1,323 @@
+"""Tests of partial-pass streaming: streams, budgets, chains, simulation."""
+
+import math
+
+import pytest
+
+from repro.congest.cost import CostAccountant, unit_overhead
+from repro.decomposition.cluster import build_communication_cluster
+from repro.decomposition.routing import ClusterRouter
+from repro.graphs import erdos_renyi
+from repro.streaming import (
+    MainToken,
+    PartialPassAlgorithm,
+    SimulationPlan,
+    Stream,
+    StreamBudgetError,
+    StreamingParameters,
+    VertexChain,
+    build_vertex_chain,
+    disjoint_chains,
+    simulate_in_cluster,
+    simulate_leader_with_queries,
+    simulate_state_passing,
+)
+from repro.streaming.simulation import AlgorithmInstance
+
+
+def _tokens(values, owners=None, aux=None):
+    owners = owners or list(range(len(values)))
+    aux = aux or [()] * len(values)
+    return [
+        MainToken(index=i, owner=owners[i], summary=values[i], auxiliary=tuple(aux[i]))
+        for i in range(len(values))
+    ]
+
+
+class SummingAlgorithm(PartialPassAlgorithm):
+    """Reads every main token and writes the running sum (no GET-AUX)."""
+
+    def __init__(self, n_in):
+        self.n_in = n_in
+
+    def parameters(self):
+        return StreamingParameters(token_bits=64, n_in=self.n_in, n_out=self.n_in,
+                                   b_aux=0, b_write=1)
+
+    def process(self, stream):
+        total = 0
+        while True:
+            token = stream.read()
+            if token is None:
+                break
+            total += token.summary
+            stream.write(total)
+
+
+class ThresholdZoom(PartialPassAlgorithm):
+    """Zooms into auxiliary tokens whenever the main summary exceeds a threshold."""
+
+    def __init__(self, n_in, threshold, b_aux):
+        self.n_in = n_in
+        self.threshold = threshold
+        self.b_aux = b_aux
+
+    def parameters(self):
+        return StreamingParameters(token_bits=64, n_in=self.n_in, n_out=4 * self.n_in,
+                                   b_aux=self.b_aux, b_write=4 * self.n_in)
+
+    def process(self, stream):
+        while True:
+            token = stream.read()
+            if token is None:
+                break
+            if token.summary > self.threshold:
+                stream.get_aux()
+                for _ in range(token.num_auxiliary):
+                    aux = stream.read()
+                    stream.write(("aux", aux))
+            else:
+                stream.write(("main", token.summary))
+
+
+class TestStream:
+    def test_read_returns_tokens_in_order_then_none(self):
+        stream = Stream(_tokens([10, 20, 30]))
+        assert [stream.read().summary for _ in range(3)] == [10, 20, 30]
+        assert stream.read() is None
+        assert stream.exhausted
+
+    def test_tokens_must_be_consecutively_numbered(self):
+        bad = [MainToken(index=0, owner=0, summary=1), MainToken(index=2, owner=1, summary=2)]
+        with pytest.raises(ValueError):
+            Stream(bad)
+
+    def test_get_aux_prepends_auxiliary_tokens(self):
+        stream = Stream(_tokens([5, 7], aux=[("a", "b"), ()]))
+        stream.read()
+        stream.get_aux()
+        assert stream.read() == "a"
+        assert stream.read() == "b"
+        assert stream.read().summary == 7
+
+    def test_get_aux_before_read_fails(self):
+        stream = Stream(_tokens([1]))
+        with pytest.raises(StreamBudgetError):
+            stream.get_aux()
+
+    def test_get_aux_twice_on_same_token_fails(self):
+        stream = Stream(_tokens([1], aux=[("x",)]))
+        stream.read()
+        stream.get_aux()
+        with pytest.raises(StreamBudgetError):
+            stream.get_aux()
+
+    def test_b_aux_budget_enforced(self):
+        stream = Stream(_tokens([1, 2], aux=[("x",), ("y",)]), b_aux=1)
+        stream.read()
+        stream.get_aux()
+        stream.read()
+        stream.read()
+        with pytest.raises(StreamBudgetError):
+            stream.get_aux()
+
+    def test_b_write_budget_enforced(self):
+        stream = Stream(_tokens([1, 2]), b_write=1)
+        stream.read()
+        stream.write("one")
+        with pytest.raises(StreamBudgetError):
+            stream.write("two")
+
+    def test_access_log_counts(self):
+        stream = Stream(_tokens([3, 9], aux=[(), ("a",)]))
+        stream.read()
+        stream.write("w1")
+        stream.read()
+        stream.get_aux()
+        stream.read()
+        log = stream.log
+        assert log.main_reads == 2
+        assert log.auxiliary_reads == 1
+        assert log.get_aux_calls == 1
+        assert log.writes == 1
+
+
+class TestStreamingParameters:
+    def test_validate_log_flags_violations(self):
+        params = StreamingParameters(token_bits=8, n_in=3, n_out=1, b_aux=0, b_write=1)
+        stream = Stream(_tokens([1, 2, 3]))
+        stream.read()
+        stream.write("a")
+        stream.read()
+        stream.write("b")
+        with pytest.raises(AssertionError):
+            params.validate_log(stream.log)
+
+
+class TestVertexChain:
+    def test_block_assignment_contiguous(self):
+        chain = build_vertex_chain(range(10), beta=3)
+        chain.validate()
+        assert len(chain) == 4
+        assert chain.block(1) == (0, 1, 2)
+        assert chain.block(4) == (9,)
+        assert chain.responsible_for(5) == chain[2]
+
+    def test_assignment_covers_universe(self):
+        chain = build_vertex_chain(range(17), beta=5)
+        assignment = chain.assignment()
+        assert set(assignment) == set(range(17))
+
+    def test_out_of_range_access(self):
+        chain = build_vertex_chain(range(6), beta=2)
+        with pytest.raises(IndexError):
+            chain.block(0)
+        with pytest.raises(KeyError):
+            chain.responsible_for(99)
+
+    def test_invalid_beta(self):
+        with pytest.raises(ValueError):
+            build_vertex_chain(range(4), beta=0)
+
+    def test_disjoint_chains_are_disjoint(self):
+        chains = disjoint_chains(range(30), beta=10, num_chains=3)
+        members = [set(chain.members) for chain in chains]
+        assert not (members[0] & members[1])
+        assert not (members[1] & members[2])
+
+    def test_disjoint_chains_infeasible(self):
+        with pytest.raises(ValueError):
+            disjoint_chains(range(10), beta=2, num_chains=5)
+
+
+def _make_cluster(n=60, avg_degree=12.0, delta=3):
+    graph = erdos_renyi(n, avg_degree, seed=4)
+    cluster = build_communication_cluster(graph, graph.edges, delta=delta)
+    accountant = CostAccountant(n=n, overhead=unit_overhead())
+    router = ClusterRouter(cluster=cluster, accountant=accountant)
+    return cluster, router
+
+
+class TestSimulation:
+    def test_simulated_output_matches_reference(self):
+        cluster, router = _make_cluster()
+        members = cluster.ordered_members()
+        values = list(range(len(members)))
+        tokens = _tokens(values, owners=members)
+        algorithm = SummingAlgorithm(n_in=len(tokens))
+        reference = algorithm.run_reference(Stream(list(tokens)))
+        plan = SimulationPlan(cluster=cluster, t_max=1)
+        result = simulate_in_cluster(
+            [AlgorithmInstance(algorithm=SummingAlgorithm(len(tokens)), tokens=tokens)],
+            plan, router=router,
+        )
+        assert result.outputs[0] == reference
+        assert result.rounds > 0
+
+    def test_input_contiguity_enforced(self):
+        cluster, router = _make_cluster()
+        members = cluster.ordered_members()
+        tokens = _tokens([1, 2], owners=[members[1], members[0]])
+        plan = SimulationPlan(cluster=cluster, t_max=1)
+        with pytest.raises(ValueError):
+            simulate_in_cluster(
+                [AlgorithmInstance(algorithm=SummingAlgorithm(2), tokens=tokens)],
+                plan, router=router,
+            )
+
+    def test_get_aux_excursions_counted_and_outputs_stored(self):
+        cluster, router = _make_cluster()
+        members = cluster.ordered_members()
+        values = [1, 100, 1, 100]
+        aux = [(), ("a1", "a2"), (), ("b1",)]
+        tokens = _tokens(values, owners=members[:4], aux=aux)
+        algorithm = ThresholdZoom(n_in=4, threshold=50, b_aux=4)
+        plan = SimulationPlan(cluster=cluster, t_max=1)
+        result = simulate_in_cluster(
+            [AlgorithmInstance(algorithm=algorithm, tokens=tokens)], plan, router=router
+        )
+        assert result.aux_excursions == 2
+        assert ("aux", "a1") in result.outputs[0]  # aux payloads preserved verbatim
+        assert ("main", 1) in result.outputs[0]
+        # Every output token is stored at some V^- vertex.
+        for holders in result.output_holders:
+            for vertex in holders.values():
+                assert vertex in cluster.v_minus
+
+    def test_parallel_instances_all_complete(self):
+        cluster, router = _make_cluster()
+        members = cluster.ordered_members()
+        instances = []
+        for shift in range(3):
+            values = [v + shift for v in range(len(members))]
+            tokens = _tokens(values, owners=members)
+            instances.append(AlgorithmInstance(algorithm=SummingAlgorithm(len(tokens)), tokens=tokens))
+        plan = SimulationPlan(cluster=cluster, t_max=1)
+        result = simulate_in_cluster(instances, plan, router=router)
+        assert result.zeta == 3
+        assert len(result.outputs) == 3
+        assert all(len(out) == len(members) for out in result.outputs)
+
+    def test_theoretical_bound_positive(self):
+        cluster, router = _make_cluster()
+        members = cluster.ordered_members()
+        tokens = _tokens(list(range(len(members))), owners=members)
+        plan = SimulationPlan(cluster=cluster, t_max=1)
+        result = simulate_in_cluster(
+            [AlgorithmInstance(algorithm=SummingAlgorithm(len(tokens)), tokens=tokens)],
+            plan, router=router,
+        )
+        assert result.theoretical_round_bound() > 0
+
+
+class TestExtremeApproaches:
+    """Section 1.2: the combined approach beats both extremes on their weak axis."""
+
+    def _instances(self, cluster, copies=4):
+        members = cluster.ordered_members()
+        instances = []
+        for shift in range(copies):
+            tokens = _tokens([v + shift for v in range(len(members))], owners=members)
+            instances.append(AlgorithmInstance(algorithm=SummingAlgorithm(len(tokens)), tokens=tokens))
+        return instances
+
+    def test_all_three_produce_identical_outputs(self):
+        cluster, router = _make_cluster()
+        plan = SimulationPlan(cluster=cluster, t_max=1)
+        instances = self._instances(cluster)
+        combined = simulate_in_cluster(instances, plan, router=router)
+        state = simulate_state_passing(instances, plan)
+        leader = simulate_leader_with_queries(instances, plan)
+        assert combined.outputs == state.outputs == leader.outputs
+
+    def test_state_passing_uses_many_hand_offs(self):
+        cluster, _ = _make_cluster()
+        plan = SimulationPlan(cluster=cluster, t_max=1)
+        instances = self._instances(cluster)
+        combined = simulate_in_cluster(
+            instances, plan,
+            router=ClusterRouter(cluster=cluster,
+                                 accountant=CostAccountant(n=cluster.n, overhead=unit_overhead())),
+        )
+        state = simulate_state_passing(instances, plan)
+        assert state.state_passes > combined.state_passes
+
+    def test_leader_concentrates_messages(self):
+        cluster, _ = _make_cluster()
+        plan = SimulationPlan(cluster=cluster, t_max=1)
+        instances = self._instances(cluster)
+        leader = simulate_leader_with_queries(instances, plan)
+        combined = simulate_in_cluster(
+            instances, plan,
+            router=ClusterRouter(cluster=cluster,
+                                 accountant=CostAccountant(n=cluster.n, overhead=unit_overhead())),
+        )
+        # The leader personally stores every non-aux output token.
+        leader_vertex = cluster.ordered_members()[0]
+        assert all(
+            holder == leader_vertex
+            for holders in leader.output_holders for holder in holders.values()
+        )
+        assert combined.max_output_tokens_per_vertex() < sum(
+            len(out) for out in leader.outputs
+        )
