@@ -7,6 +7,9 @@ The public API re-exports the main entry points:
   deterministic CONGEST listing algorithms (Theorems 32 and 36) with full
   round accounting.
 * :func:`repro.validate_listing` -- coverage check against ground truth.
+* :func:`repro.run_on_engine` -- run any per-vertex CONGEST algorithm on
+  the pluggable execution engine (:mod:`repro.engine`): reference,
+  vectorized, or sharded backend, under pluggable delivery scenarios.
 * :mod:`repro.graphs` -- workload generators and structural utilities.
 * :mod:`repro.congest`, :mod:`repro.decomposition`, :mod:`repro.streaming`,
   :mod:`repro.partition_trees` -- the substrates the algorithms are built on.
@@ -20,10 +23,12 @@ from repro.listing import (
     list_cliques,
     list_triangles,
     validate_listing,
+    validate_on_engine,
 )
 from repro.listing.validation import CoverageReport
+from repro.engine import run_algorithm as run_on_engine
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ListingResult",
@@ -32,6 +37,8 @@ __all__ = [
     "list_cliques",
     "list_triangles",
     "validate_listing",
+    "validate_on_engine",
+    "run_on_engine",
     "CoverageReport",
     "__version__",
 ]

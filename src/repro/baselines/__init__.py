@@ -17,6 +17,7 @@
 from repro.baselines.naive import (
     NeighborhoodExchangeTriangles,
     naive_listing,
+    neighborhood_exchange_listing,
 )
 from repro.baselines.randomized import randomized_partition_listing
 from repro.baselines.congested_clique import congested_clique_listing
@@ -25,6 +26,7 @@ from repro.baselines.chang_saranurak import cs20_triangle_listing
 __all__ = [
     "NeighborhoodExchangeTriangles",
     "naive_listing",
+    "neighborhood_exchange_listing",
     "randomized_partition_listing",
     "congested_clique_listing",
     "cs20_triangle_listing",

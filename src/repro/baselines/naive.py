@@ -11,6 +11,11 @@ Two flavours are provided:
 * :func:`naive_listing` -- the cost-model version for arbitrary ``p``: every
   vertex learns its full induced neighbourhood (``O(Δ)`` rounds) and lists
   the cliques through it.
+
+:func:`neighborhood_exchange_listing` drives the faithful algorithm through
+the pluggable execution engine (:mod:`repro.engine`), so the same baseline
+can be run on the reference, vectorized, or sharded backend and under any
+delivery scenario.
 """
 
 from __future__ import annotations
@@ -57,6 +62,32 @@ class NeighborhoodExchangeTriangles(VertexAlgorithm):
                         self.output.add(canonical_clique((self.vertex, u, w)))
             self.halt()
         return []
+
+
+def neighborhood_exchange_listing(
+    graph: nx.Graph,
+    backend="reference",
+    scenario=None,
+    max_rounds: int = 50_000,
+) -> ListingResult:
+    """Run :class:`NeighborhoodExchangeTriangles` on the execution engine.
+
+    Unlike :func:`naive_listing` (which charges a cost model), this actually
+    executes the per-vertex algorithm round by round, so its round count
+    reflects real fragmentation of the adjacency-list payloads — and it can
+    be pointed at any engine backend or delivery scenario.
+    """
+    from repro.engine.runner import run_algorithm
+
+    run = run_algorithm(
+        graph,
+        NeighborhoodExchangeTriangles,
+        backend=backend,
+        scenario=scenario,
+        max_rounds=max_rounds,
+        phase="naive-exchange",
+    )
+    return ListingResult.from_engine_run(run, p=3)
 
 
 @dataclass

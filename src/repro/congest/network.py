@@ -6,21 +6,28 @@ Payloads larger than one word are fragmented transparently and the fragments
 are queued on the edge, exactly the way a real CONGEST algorithm would have
 to stretch a large transfer over multiple rounds.
 
-This executor is intended for validation on small graphs (hundreds of
-vertices); the scaling experiments use :mod:`repro.congest.cost`.
+This executor is the *reference semantics* of the execution engine
+(:mod:`repro.engine`): the vectorized and sharded backends are validated
+against it.  For large graphs, select a faster backend through
+:func:`run_algorithm`'s ``backend`` argument or :func:`repro.engine.run_algorithm`;
+the asymptotic scaling experiments use :mod:`repro.congest.cost`.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict, deque
 from dataclasses import dataclass, field
-from typing import Callable, Hashable, Iterable, Mapping
+from typing import TYPE_CHECKING, Callable, Hashable, Iterable, Mapping
 
 import networkx as nx
 
 from repro.congest.message import Message, words_for_payload
 from repro.congest.metrics import CongestMetrics
 from repro.congest.vertex import VertexAlgorithm
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.engine.backend import Backend
+    from repro.engine.scenarios import DeliveryScenario
 
 VertexFactory = Callable[[Hashable, Iterable[Hashable], int], VertexAlgorithm]
 
@@ -54,12 +61,20 @@ class SynchronousRun:
 class CongestNetwork:
     """A synchronous message-passing network over an undirected graph."""
 
-    def __init__(self, graph: nx.Graph, metrics: CongestMetrics | None = None):
+    def __init__(
+        self,
+        graph: nx.Graph,
+        metrics: CongestMetrics | None = None,
+        scenario: "DeliveryScenario | None" = None,
+    ):
         if graph.number_of_nodes() == 0:
             raise ValueError("cannot build a CONGEST network over an empty graph")
         self.graph = graph
         self.n = graph.number_of_nodes()
         self.metrics = metrics if metrics is not None else CongestMetrics()
+        # Optional delivery model (repro.engine.scenarios); None is the
+        # clean synchronous CONGEST model and skips the per-edge query.
+        self.scenario = scenario
         # Per directed edge FIFO of outstanding word fragments.
         self._edge_queues: dict[tuple[Hashable, Hashable], deque] = defaultdict(deque)
 
@@ -112,11 +127,11 @@ class CongestNetwork:
                     outgoing.append(message)
 
             self._enqueue(outgoing)
-            delivered = self._deliver_one_round()
+            delivered, words_crossed = self._deliver_one_round(round_index)
             for message in delivered:
                 inboxes[message.receiver].append(message)
             self.metrics.add_rounds(1, phase=phase)
-            self.metrics.add_messages(len(delivered), phase=phase, words=len(delivered))
+            self.metrics.add_messages(len(delivered), phase=phase, words=words_crossed)
         else:
             rounds_executed = max_rounds
 
@@ -144,16 +159,31 @@ class CongestNetwork:
                 self._edge_queues[edge].append(None)
             self._edge_queues[edge].append(message)
 
-    def _deliver_one_round(self) -> list[Message]:
-        """Pop at most one word per directed edge; return completed messages."""
+    def _deliver_one_round(self, round_index: int) -> tuple[list[Message], int]:
+        """Pop at most one word per directed edge.
+
+        Returns the messages whose final word arrived this round together
+        with the total number of words (including placeholder fragments of
+        larger payloads) that crossed any edge — the quantity bandwidth
+        accounting must charge.  Queues that drain are pruned so long runs
+        do not iterate ever more empty deques.
+        """
         delivered: list[Message] = []
+        words_crossed = 0
+        drained: list[tuple[Hashable, Hashable]] = []
+        scenario = self.scenario
         for edge, queue in self._edge_queues.items():
-            if not queue:
+            if scenario is not None and not scenario.transmits(edge, round_index):
                 continue
             item = queue.popleft()
+            words_crossed += 1
             if isinstance(item, Message):
                 delivered.append(item)
-        return delivered
+            if not queue:
+                drained.append(edge)
+        for edge in drained:
+            del self._edge_queues[edge]
+        return delivered, words_crossed
 
     def _has_pending(self) -> bool:
         return any(queue for queue in self._edge_queues.values())
@@ -165,7 +195,25 @@ def run_algorithm(
     max_rounds: int = 10_000,
     phase: str = "simulated",
     metrics: CongestMetrics | None = None,
+    backend: "Backend | type[Backend] | str | None" = None,
+    scenario: "DeliveryScenario | str | None" = None,
 ) -> SynchronousRun:
-    """Convenience wrapper: build a network and run ``factory`` on it."""
-    network = CongestNetwork(graph, metrics=metrics)
-    return network.run(factory, max_rounds=max_rounds, phase=phase)
+    """Run ``factory`` on the execution engine (reference backend by default).
+
+    This is the historical entry point; it now routes through
+    :func:`repro.engine.runner.run_algorithm`, so existing callers keep the
+    faithful edge-by-edge semantics unchanged while gaining backend
+    (``"reference"`` / ``"vectorized"`` / ``"sharded"``) and delivery-scenario
+    selection.
+    """
+    from repro.engine.runner import run_algorithm as engine_run
+
+    return engine_run(
+        graph,
+        factory,
+        backend=backend,
+        max_rounds=max_rounds,
+        phase=phase,
+        metrics=metrics,
+        scenario=scenario,
+    )

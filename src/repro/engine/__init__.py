@@ -1,0 +1,57 @@
+"""Pluggable high-performance execution engine for CONGEST simulation.
+
+The engine separates *what a distributed algorithm does* (the per-vertex
+:class:`~repro.congest.vertex.VertexAlgorithm` code) from *how the rounds
+are executed*:
+
+* :mod:`repro.engine.backend` -- the :class:`Backend` strategy interface.
+* :mod:`repro.engine.reference` -- wraps the faithful edge-by-edge
+  :class:`~repro.congest.network.CongestNetwork`; the semantic ground truth.
+* :mod:`repro.engine.vectorized` -- batch delivery over numpy edge
+  occupancy; ~10-100x faster on fragmentation-heavy workloads.
+* :mod:`repro.engine.sharded` -- vertex-partitioned execution across forked
+  worker processes with per-round barriers.
+* :mod:`repro.engine.scenarios` -- pluggable delivery models: clean
+  synchronous, per-round link drops, adversarial bounded delay.
+* :mod:`repro.engine.runner` -- :func:`run_algorithm`, the single entry
+  point that selects backends and scenarios.
+
+All backends are semantically equivalent: same outputs, same round counts,
+same message/word accounting, under every scenario.
+"""
+
+from repro.engine.backend import Backend
+from repro.engine.reference import ReferenceBackend
+from repro.engine.runner import (
+    BACKENDS,
+    available_backends,
+    resolve_backend,
+    run_algorithm,
+)
+from repro.engine.scenarios import (
+    SCENARIOS,
+    AdversarialDelayScenario,
+    CleanSynchronous,
+    DeliveryScenario,
+    LinkDropScenario,
+    resolve_scenario,
+)
+from repro.engine.sharded import ShardedBackend
+from repro.engine.vectorized import VectorizedBackend
+
+__all__ = [
+    "Backend",
+    "BACKENDS",
+    "ReferenceBackend",
+    "VectorizedBackend",
+    "ShardedBackend",
+    "available_backends",
+    "resolve_backend",
+    "run_algorithm",
+    "DeliveryScenario",
+    "CleanSynchronous",
+    "LinkDropScenario",
+    "AdversarialDelayScenario",
+    "SCENARIOS",
+    "resolve_scenario",
+]

@@ -1,0 +1,67 @@
+"""The common interface every execution backend implements.
+
+A backend is a *strategy for driving a synchronous CONGEST execution*: it
+instantiates one :class:`~repro.congest.vertex.VertexAlgorithm` per vertex,
+runs them in lockstep rounds under the model's one-word-per-edge bandwidth
+constraint, and returns the same :class:`~repro.congest.network.SynchronousRun`
+regardless of how the rounds were executed.  The contract is semantic
+equivalence: for any algorithm and any delivery scenario, all backends must
+agree on per-vertex outputs, round counts, and message/word totals — only
+wall-clock time may differ.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Hashable, Iterable, TYPE_CHECKING
+
+import networkx as nx
+
+from repro.congest.metrics import CongestMetrics
+from repro.congest.vertex import VertexAlgorithm
+from repro.engine.scenarios import DeliveryScenario
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.congest.network import SynchronousRun
+
+VertexFactory = Callable[[Hashable, Iterable[Hashable], int], VertexAlgorithm]
+
+
+class Backend(ABC):
+    """A pluggable round-execution engine for CONGEST simulations.
+
+    Attributes:
+        name: registry key of the backend (``reference``, ``vectorized``,
+            ``sharded``); used by :func:`repro.engine.runner.run_algorithm`
+            to select backends by string.
+    """
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def run(
+        self,
+        graph: nx.Graph,
+        factory: VertexFactory,
+        *,
+        max_rounds: int = 10_000,
+        phase: str = "simulated",
+        metrics: CongestMetrics | None = None,
+        scenario: DeliveryScenario | None = None,
+    ) -> "SynchronousRun":
+        """Drive ``factory`` on every vertex of ``graph`` to termination.
+
+        Args:
+            graph: undirected communication topology.
+            factory: called as ``factory(vertex, neighbors, n)`` per vertex.
+            max_rounds: safety cap on synchronous rounds.
+            phase: metrics phase rounds and messages are charged to.
+            metrics: counter object to update (a fresh one when ``None``).
+            scenario: delivery model; ``None`` means clean synchronous.
+
+        Returns:
+            A :class:`~repro.congest.network.SynchronousRun`.
+        """
+
+    def describe(self) -> str:
+        return type(self).__name__

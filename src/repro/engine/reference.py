@@ -1,0 +1,40 @@
+"""The reference backend: the faithful edge-by-edge simulator, wrapped.
+
+This backend delegates to :class:`repro.congest.network.CongestNetwork`,
+which materialises every word fragment in per-edge FIFO queues and pops one
+per directed edge per round.  It is the semantic ground truth the fast
+backends are validated against, and the right choice when debugging an
+algorithm on small graphs.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.congest.metrics import CongestMetrics
+from repro.congest.network import CongestNetwork, SynchronousRun
+from repro.engine.backend import Backend, VertexFactory
+from repro.engine.scenarios import DeliveryScenario
+
+
+class ReferenceBackend(Backend):
+    """Drives :class:`CongestNetwork` — faithful, single-threaded, O(edges)/round."""
+
+    name = "reference"
+
+    def run(
+        self,
+        graph: nx.Graph,
+        factory: VertexFactory,
+        *,
+        max_rounds: int = 10_000,
+        phase: str = "simulated",
+        metrics: CongestMetrics | None = None,
+        scenario: DeliveryScenario | None = None,
+    ) -> SynchronousRun:
+        # A clean scenario is the network's native behaviour; passing None
+        # lets the delivery loop skip the per-edge scenario query entirely.
+        if scenario is not None and scenario.is_clean:
+            scenario = None
+        network = CongestNetwork(graph, metrics=metrics, scenario=scenario)
+        return network.run(factory, max_rounds=max_rounds, phase=phase)

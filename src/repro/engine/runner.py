@@ -1,0 +1,94 @@
+"""Single entry point for running a CONGEST algorithm on any backend.
+
+Usage::
+
+    from repro.engine import run_algorithm
+
+    run = run_algorithm(graph, MyAlgorithm)                       # reference
+    run = run_algorithm(graph, MyAlgorithm, backend="vectorized")
+    run = run_algorithm(graph, MyAlgorithm, backend="sharded",
+                        scenario=LinkDropScenario(0.05))
+
+``backend`` accepts a registry name, a :class:`~repro.engine.backend.Backend`
+instance (to configure e.g. worker counts), or a backend class.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.congest.metrics import CongestMetrics
+from repro.congest.network import SynchronousRun
+from repro.engine.backend import Backend, VertexFactory
+from repro.engine.reference import ReferenceBackend
+from repro.engine.scenarios import DeliveryScenario, resolve_scenario
+from repro.engine.sharded import ShardedBackend
+from repro.engine.vectorized import VectorizedBackend
+
+BACKENDS: dict[str, type[Backend]] = {
+    ReferenceBackend.name: ReferenceBackend,
+    VectorizedBackend.name: VectorizedBackend,
+    ShardedBackend.name: ShardedBackend,
+}
+
+
+def available_backends() -> list[str]:
+    """Registry names of the selectable backends."""
+    return sorted(BACKENDS)
+
+
+def resolve_backend(backend: Backend | type[Backend] | str | None) -> Backend:
+    """Accept a backend instance, class, registry name, or ``None``."""
+    if backend is None:
+        return ReferenceBackend()
+    if isinstance(backend, Backend):
+        return backend
+    if isinstance(backend, type) and issubclass(backend, Backend):
+        return backend()
+    if isinstance(backend, str):
+        try:
+            return BACKENDS[backend]()
+        except KeyError:
+            raise ValueError(
+                f"unknown backend {backend!r}; known: {available_backends()}"
+            ) from None
+    raise TypeError(f"cannot interpret {backend!r} as an execution backend")
+
+
+def run_algorithm(
+    graph: nx.Graph,
+    factory: VertexFactory,
+    backend: Backend | type[Backend] | str | None = "reference",
+    *,
+    max_rounds: int = 10_000,
+    phase: str = "simulated",
+    metrics: CongestMetrics | None = None,
+    scenario: DeliveryScenario | str | None = None,
+) -> SynchronousRun:
+    """Run ``factory`` on every vertex of ``graph`` on the selected backend.
+
+    Args:
+        graph: undirected communication topology.
+        factory: called as ``factory(vertex, neighbors, n)`` per vertex.
+        backend: backend name (``reference`` / ``vectorized`` / ``sharded``),
+            instance, or class.
+        max_rounds: safety cap on synchronous rounds.
+        phase: metrics phase to charge rounds and messages to.
+        metrics: counter object to update (a fresh one when ``None``).
+        scenario: delivery model — a :class:`DeliveryScenario`, a scenario
+            registry name (``clean`` / ``link-drop`` / ``adversarial-delay``),
+            or ``None`` for the clean synchronous model.
+
+    Returns:
+        A :class:`~repro.congest.network.SynchronousRun`.
+    """
+    engine = resolve_backend(backend)
+    resolved_scenario = None if scenario is None else resolve_scenario(scenario)
+    return engine.run(
+        graph,
+        factory,
+        max_rounds=max_rounds,
+        phase=phase,
+        metrics=metrics,
+        scenario=resolved_scenario,
+    )

@@ -1,0 +1,174 @@
+"""Pluggable delivery scenarios for the execution engine.
+
+A :class:`DeliveryScenario` decides, independently for every directed edge
+and every round, whether the word at the head of that edge's queue crosses
+this round.  The clean synchronous CONGEST model always transmits; faulty
+models may hold a word back, which stretches a ``w``-word transfer beyond
+``w`` rounds exactly the way a lossy or adversarially scheduled link would.
+
+Scenarios are *stateless pure functions* of ``(edge, round_index)``: every
+decision is derived from a seeded cryptographic hash rather than from a
+shared mutable RNG.  This is what makes the same scenario reproducible
+across all engine backends — the reference simulator queries the decision
+edge-by-edge while the vectorized scheduler replays the identical decisions
+when computing delivery rounds in batch, and both see the same world.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from abc import ABC
+from typing import Hashable
+
+Edge = tuple[Hashable, Hashable]
+
+_HASH_DENOM = float(2**64)
+
+
+def _stable_hash(*parts: object) -> int:
+    """A 64-bit hash of ``parts`` that is stable across processes and runs.
+
+    ``hash()`` is randomized per-process for strings, which would make a
+    scenario disagree with itself between the parent and the sharded
+    workers; blake2b of the ``repr`` is deterministic everywhere.
+    """
+    digest = hashlib.blake2b(repr(parts).encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class DeliveryScenario(ABC):
+    """Decides per (directed edge, round) whether a word crosses.
+
+    Attributes:
+        is_clean: ``True`` when ``transmits`` is constantly ``True``; lets
+            vectorized schedulers skip the per-round decision replay and
+            compute delivery rounds arithmetically.
+    """
+
+    is_clean: bool = False
+
+    def transmits(self, edge: Edge, round_index: int) -> bool:
+        """Whether ``edge`` moves its head-of-queue word in ``round_index``."""
+        return True
+
+    def transfer_schedule(
+        self, edge: Edge, start_round: int, words: int, horizon: int | None = None
+    ) -> list[int]:
+        """Rounds in which the ``words`` words of one transfer cross.
+
+        The transfer occupies the edge from ``start_round`` until the last
+        returned round; the result has at most ``words`` entries, one per
+        word, in increasing round order.  Used by batch schedulers to
+        replay the same decisions the edge-by-edge simulator would make.
+
+        ``horizon`` bounds the replay (exclusive): a scenario that blocks
+        an edge forever would otherwise never accumulate ``words``
+        successes.  Callers that execute at most ``max_rounds`` rounds pass
+        that as the horizon; a short result then means the transfer does
+        not complete within the run.
+        """
+        if self.is_clean:
+            return list(range(start_round, start_round + words))
+        schedule: list[int] = []
+        round_index = start_round
+        while len(schedule) < words and (horizon is None or round_index < horizon):
+            if self.transmits(edge, round_index):
+                schedule.append(round_index)
+            round_index += 1
+        return schedule
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+class CleanSynchronous(DeliveryScenario):
+    """The standard fault-free synchronous CONGEST model."""
+
+    is_clean = True
+
+    def transmits(self, edge: Edge, round_index: int) -> bool:
+        return True
+
+
+class LinkDropScenario(DeliveryScenario):
+    """Each directed edge independently drops its word with fixed probability.
+
+    A dropped word is *retransmitted*: it simply does not cross this round
+    and stays at the head of the queue, so a ``w``-word payload needs ``w``
+    successful rounds rather than ``w`` rounds.  This is the smooth-faults
+    regime studied for robust congested-clique computation (arXiv:2508.08740):
+    bandwidth is still one word per edge per round, but an expected
+    ``1/(1-q)`` stretch is paid on every transfer.
+    """
+
+    def __init__(self, drop_probability: float = 0.1, seed: int = 0):
+        if not 0.0 <= drop_probability < 1.0:
+            raise ValueError(
+                f"drop probability must be in [0, 1); got {drop_probability}"
+            )
+        self.drop_probability = drop_probability
+        self.seed = seed
+
+    def transmits(self, edge: Edge, round_index: int) -> bool:
+        draw = _stable_hash("link-drop", self.seed, edge, round_index) / _HASH_DENOM
+        return draw >= self.drop_probability
+
+    def describe(self) -> str:
+        return f"LinkDropScenario(q={self.drop_probability}, seed={self.seed})"
+
+
+class AdversarialDelayScenario(DeliveryScenario):
+    """A deterministic adversary stalls each edge one round in every period.
+
+    The adversary may reorder work in time but cannot exceed the model's
+    bandwidth: every edge still carries at most one word per round, and a
+    ``w``-word transfer finishes within ``ceil(w * period / (period - 1)) + 1``
+    rounds — a bounded stretch.  Each edge's stall phase is derived from a
+    seeded hash so different edges stall in different rounds, which is the
+    worst case for algorithms that rely on lockstep arrival.
+    """
+
+    def __init__(self, stall_period: int = 4, seed: int = 0):
+        if stall_period < 2:
+            raise ValueError(f"stall period must be >= 2; got {stall_period}")
+        self.stall_period = stall_period
+        self.seed = seed
+        # The stall phase is a pure function of (seed, edge); memoise it so
+        # the per-round hot path costs one dict lookup, not a blake2b hash.
+        self._phases: dict[Edge, int] = {}
+
+    def _phase(self, edge: Edge) -> int:
+        phase = self._phases.get(edge)
+        if phase is None:
+            phase = _stable_hash("adv-delay", self.seed, edge) % self.stall_period
+            self._phases[edge] = phase
+        return phase
+
+    def transmits(self, edge: Edge, round_index: int) -> bool:
+        return round_index % self.stall_period != self._phase(edge)
+
+    def describe(self) -> str:
+        return f"AdversarialDelayScenario(period={self.stall_period}, seed={self.seed})"
+
+
+def resolve_scenario(scenario: DeliveryScenario | str | None) -> DeliveryScenario:
+    """Accept a scenario object, a registry name, or ``None`` (clean)."""
+    if scenario is None:
+        return CleanSynchronous()
+    if isinstance(scenario, DeliveryScenario):
+        return scenario
+    if isinstance(scenario, str):
+        try:
+            return SCENARIOS[scenario]()
+        except KeyError:
+            raise ValueError(
+                f"unknown scenario {scenario!r}; known: {sorted(SCENARIOS)}"
+            ) from None
+    raise TypeError(f"cannot interpret {scenario!r} as a delivery scenario")
+
+
+SCENARIOS: dict[str, type[DeliveryScenario]] = {
+    "clean": CleanSynchronous,
+    "link-drop": LinkDropScenario,
+    "adversarial-delay": AdversarialDelayScenario,
+}

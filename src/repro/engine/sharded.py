@@ -1,0 +1,299 @@
+"""Sharded backend: vertex-partitioned execution across worker processes.
+
+Vertices are split into contiguous shards (in ``graph.nodes`` order); each
+shard runs its vertices' ``on_round`` code in a forked worker process while
+the parent owns the bandwidth-constrained delivery layer (the same
+:class:`~repro.engine.delivery.WordScheduler` the vectorized backend uses).
+One synchronous round is one barrier: the parent broadcasts the round's
+deliveries to every worker, the workers step their vertices concurrently,
+and the parent collects the outgoing traffic, validates it, and schedules
+it.  The request/response pair over each worker's pipe *is* the barrier —
+no worker can run ahead of the round the parent is driving.
+
+Workers are started with the ``fork`` start method so that arbitrary vertex
+factories (including classes defined in test modules or notebooks) need not
+be picklable; only :class:`~repro.congest.message.Message` objects cross
+process boundaries.  Where ``fork`` is unavailable (or for ``num_workers=1``)
+the shards run inline in-process with identical semantics, so results never
+depend on the host platform.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Hashable
+
+import networkx as nx
+
+from repro.congest.message import Message
+from repro.congest.metrics import CongestMetrics
+from repro.congest.network import SynchronousRun
+from repro.congest.vertex import VertexAlgorithm
+from repro.engine.backend import Backend, VertexFactory
+from repro.engine.delivery import GraphIndex, WordScheduler, payload_words
+from repro.engine.scenarios import DeliveryScenario, resolve_scenario
+
+_ROUND = "round"
+_FINISH = "finish"
+
+
+class _ShardState:
+    """The per-shard execution state: algorithms, inboxes, active set."""
+
+    def __init__(
+        self,
+        vertices: list[Hashable],
+        factory: VertexFactory,
+        neighbor_map: dict[Hashable, tuple],
+        n: int,
+    ):
+        self.algorithms: dict[Hashable, VertexAlgorithm] = {
+            v: factory(v, neighbor_map[v], n) for v in vertices
+        }
+        self.inboxes: dict[Hashable, list[Message]] = {v: [] for v in vertices}
+        # A factory may construct vertices already halted; they must not
+        # count toward the parent's active total or a spurious round runs.
+        self.active = [v for v in vertices if not self.algorithms[v].halted]
+
+    def step(
+        self, round_index: int, deliveries: list[Message]
+    ) -> tuple[list[Message], int]:
+        """Run one round for this shard; returns (outgoing, active_count)."""
+        for message in deliveries:
+            self.inboxes[message.receiver].append(message)
+        outgoing: list[Message] = []
+        still_active: list[Hashable] = []
+        for vertex in self.active:
+            algorithm = self.algorithms[vertex]
+            if algorithm.halted:
+                continue
+            sent = algorithm.on_round(round_index, self.inboxes[vertex])
+            self.inboxes[vertex] = []
+            for message in sent:
+                # The sender check must happen shard-side: only the shard
+                # knows which vertex produced the message.
+                if message.sender != vertex:
+                    raise ValueError(
+                        f"vertex {vertex!r} attempted to forge sender "
+                        f"{message.sender!r}"
+                    )
+            outgoing.extend(sent)
+            if not algorithm.halted:
+                still_active.append(vertex)
+        self.active = still_active
+        return outgoing, len(still_active)
+
+    def finish(self) -> tuple[dict[Hashable, object], bool]:
+        outputs = {v: alg.output for v, alg in self.algorithms.items()}
+        halted = all(alg.halted for alg in self.algorithms.values())
+        return outputs, halted
+
+
+def _shard_worker(conn, vertices, factory, neighbor_map, n) -> None:
+    """Worker-process loop: step the shard once per parent request."""
+    try:
+        state = _ShardState(vertices, factory, neighbor_map, n)
+        conn.send(("ready", len(state.active)))
+        while True:
+            request = conn.recv()
+            if request[0] == _ROUND:
+                _, round_index, deliveries = request
+                conn.send(("stepped",) + state.step(round_index, deliveries))
+            elif request[0] == _FINISH:
+                conn.send(("outputs",) + state.finish())
+                return
+    except Exception as exc:  # surface worker failures to the parent
+        try:
+            conn.send(("error", exc))
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+class _InlineShard:
+    """Same protocol as a worker process, executed in the parent."""
+
+    def __init__(self, vertices, factory, neighbor_map, n):
+        self.state = _ShardState(vertices, factory, neighbor_map, n)
+        self.initial_active = len(self.state.active)
+
+    def step(self, round_index, deliveries):
+        return self.state.step(round_index, deliveries)
+
+    def finish(self):
+        return self.state.finish()
+
+    def close(self) -> None:
+        pass
+
+
+class _ProcessShard:
+    """A forked worker process driven over a duplex pipe."""
+
+    def __init__(self, context, vertices, factory, neighbor_map, n):
+        self.vertices = vertices
+        self._conn, child_conn = context.Pipe(duplex=True)
+        self._process = context.Process(
+            target=_shard_worker,
+            args=(child_conn, vertices, factory, neighbor_map, n),
+            daemon=True,
+        )
+        self._process.start()
+        child_conn.close()
+        self.initial_active = self._expect("ready")[0]
+
+    def _expect(self, kind: str):
+        try:
+            reply = self._conn.recv()
+        except EOFError:
+            raise RuntimeError(
+                f"shard worker for vertices {self.vertices[:3]}... died unexpectedly"
+            ) from None
+        if reply[0] == "error":
+            raise reply[1]
+        if reply[0] != kind:
+            raise RuntimeError(f"unexpected shard reply {reply[0]!r}")
+        return reply[1:]
+
+    def finish(self):
+        self._conn.send((_FINISH,))
+        outputs, halted = self._expect("outputs")
+        self._process.join(timeout=5)
+        return outputs, halted
+
+    def close(self) -> None:
+        try:
+            self._conn.close()
+        finally:
+            if self._process.is_alive():
+                self._process.terminate()
+                self._process.join(timeout=5)
+
+
+class ShardedBackend(Backend):
+    """Multi-core backend: per-shard workers, per-round barrier sync."""
+
+    name = "sharded"
+
+    def __init__(self, num_workers: int | None = None, start_method: str = "fork"):
+        self.num_workers = num_workers
+        self.start_method = start_method
+
+    def _resolve_workers(self, n: int) -> int:
+        workers = self.num_workers
+        if workers is None:
+            workers = min(4, os.cpu_count() or 1)
+        return max(1, min(workers, n))
+
+    def run(
+        self,
+        graph: nx.Graph,
+        factory: VertexFactory,
+        *,
+        max_rounds: int = 10_000,
+        phase: str = "simulated",
+        metrics: CongestMetrics | None = None,
+        scenario: DeliveryScenario | None = None,
+    ) -> SynchronousRun:
+        if graph.number_of_nodes() == 0:
+            raise ValueError("cannot build a CONGEST network over an empty graph")
+        metrics = metrics if metrics is not None else CongestMetrics()
+        index = GraphIndex(graph)
+        n = index.n
+        neighbor_map = {v: tuple(graph.neighbors(v)) for v in index.nodes}
+        scheduler = WordScheduler(
+            index, resolve_scenario(scenario), horizon=max_rounds
+        )
+
+        workers = self._resolve_workers(n)
+        use_processes = (
+            workers > 1 and self.start_method in multiprocessing.get_all_start_methods()
+        )
+        # Contiguous blocks in graph.nodes order: concatenating shard
+        # responses in shard order reproduces the reference simulator's
+        # global vertex iteration order.
+        block = (n + workers - 1) // workers
+        partitions = [
+            index.nodes[i : i + block] for i in range(0, n, block)
+        ]
+
+        shards: list = []
+        try:
+            if use_processes:
+                context = multiprocessing.get_context(self.start_method)
+                for part in partitions:
+                    shards.append(
+                        _ProcessShard(context, part, factory, neighbor_map, n)
+                    )
+            else:
+                for part in partitions:
+                    shards.append(_InlineShard(part, factory, neighbor_map, n))
+
+            owner = {
+                v: shard_id
+                for shard_id, part in enumerate(partitions)
+                for v in part
+            }
+            total_active = sum(shard.initial_active for shard in shards)
+            next_deliveries: list[list[Message]] = [[] for _ in shards]
+            words_cache: dict[int, tuple[object, int]] = {}
+
+            rounds_executed = 0
+            for round_index in range(max_rounds):
+                if total_active == 0 and not scheduler.has_pending:
+                    break
+                rounds_executed += 1
+                words_cache.clear()
+                # Barrier in, barrier out: broadcast the round to every
+                # shard, then wait for every shard's response.
+                for shard_id, shard in enumerate(shards):
+                    if isinstance(shard, _ProcessShard):
+                        shard._conn.send(
+                            (_ROUND, round_index, next_deliveries[shard_id])
+                        )
+                total_active = 0
+                outgoing: list[Message] = []
+                for shard_id, shard in enumerate(shards):
+                    if isinstance(shard, _ProcessShard):
+                        sent, active = shard._expect("stepped")
+                    else:
+                        sent, active = shard.step(
+                            round_index, next_deliveries[shard_id]
+                        )
+                    outgoing.extend(sent)
+                    total_active += active
+                next_deliveries = [[] for _ in shards]
+
+                for message in outgoing:
+                    if not index.has_edge(message.sender, message.receiver):
+                        raise ValueError(
+                            f"vertex {message.sender!r} attempted to send to "
+                            f"non-neighbour {message.receiver!r}"
+                        )
+                    scheduler.schedule(
+                        message, round_index, payload_words(message, n, words_cache)
+                    )
+                delivered, words_crossed = scheduler.deliver(round_index)
+                for message in delivered:
+                    next_deliveries[owner[message.receiver]].append(message)
+                metrics.add_rounds(1, phase=phase)
+                metrics.add_messages(len(delivered), phase=phase, words=words_crossed)
+
+            outputs: dict[Hashable, object] = {}
+            halted = True
+            for shard in shards:
+                shard_outputs, shard_halted = shard.finish()
+                outputs.update(shard_outputs)
+                halted = halted and shard_halted
+            outputs = {v: outputs[v] for v in index.nodes}
+            return SynchronousRun(
+                rounds=rounds_executed,
+                metrics=metrics,
+                outputs=outputs,
+                halted=halted,
+            )
+        finally:
+            for shard in shards:
+                shard.close()

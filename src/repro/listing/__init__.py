@@ -13,7 +13,7 @@
 from repro.listing.local import two_hop_exhaustive_listing, exhaustive_rounds_bound
 from repro.listing.triangles import TriangleListing, ListingResult, list_triangles
 from repro.listing.cliques import CliqueListing, list_cliques
-from repro.listing.validation import validate_listing, CoverageReport
+from repro.listing.validation import validate_listing, validate_on_engine, CoverageReport
 
 __all__ = [
     "two_hop_exhaustive_listing",
@@ -24,5 +24,6 @@ __all__ = [
     "CliqueListing",
     "list_cliques",
     "validate_listing",
+    "validate_on_engine",
     "CoverageReport",
 ]

@@ -128,6 +128,31 @@ class ListingResult:
     def duplication_factor(self) -> float:
         return self.reports / max(1, len(self.cliques))
 
+    @classmethod
+    def from_engine_run(cls, run, p: int) -> "ListingResult":
+        """Build a single-level result from an engine ``SynchronousRun``.
+
+        Used by every driver that executes a per-vertex listing algorithm
+        on the execution engine (:mod:`repro.engine`): the listed cliques
+        are the union of the per-vertex outputs, and the (pre-dedup)
+        report count sums the per-vertex output sizes.
+        """
+        # Must accept exactly the container types combined_output() unions,
+        # or list-valued outputs would yield a nonsense duplication factor.
+        reports = sum(
+            len(output)
+            for output in run.outputs.values()
+            if isinstance(output, (set, frozenset, list, tuple))
+        )
+        return cls(
+            cliques=run.combined_output(),
+            p=p,
+            rounds=run.rounds,
+            levels=1,
+            metrics=run.metrics,
+            reports=reports,
+        )
+
 
 class RecursiveListingDriver:
     """Runs the outer recursion of Theorems 32 / 36 around a cluster handler."""

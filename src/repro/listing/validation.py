@@ -65,3 +65,28 @@ def validate_listing(graph: nx.Graph, result: ListingResult) -> CoverageReport:
         spurious=spurious,
         duplication_factor=result.duplication_factor,
     )
+
+
+def validate_on_engine(
+    graph: nx.Graph,
+    factory,
+    p: int = 3,
+    backend="reference",
+    scenario=None,
+    max_rounds: int = 50_000,
+) -> CoverageReport:
+    """Execute a per-vertex listing algorithm on the engine and validate it.
+
+    Runs ``factory`` (a :class:`~repro.congest.vertex.VertexAlgorithm`
+    subclass whose vertices output sets of cliques) on the selected
+    execution backend and delivery scenario, then compares the union of the
+    per-vertex outputs against the exhaustive ``K_p`` ground truth.  This
+    is how the equivalence suite certifies that a fast backend still lists
+    every clique.
+    """
+    from repro.engine.runner import run_algorithm
+
+    run = run_algorithm(
+        graph, factory, backend=backend, scenario=scenario, max_rounds=max_rounds
+    )
+    return validate_listing(graph, ListingResult.from_engine_run(run, p=p))
