@@ -28,41 +28,9 @@ import sys
 import time
 from pathlib import Path
 
-from repro.congest.vertex import VertexAlgorithm
+from common import broadcast_workload
 from repro.engine import run_algorithm
 from repro.graphs import erdos_renyi
-
-
-class BroadcastBlob(VertexAlgorithm):
-    """Every vertex broadcasts a ``PAYLOAD_WORDS``-word blob to all neighbours.
-
-    The blob is a flat tuple of ints, so it costs ``1 + len`` CONGEST words
-    and is fragmented by every backend into that many single-word rounds.
-    A vertex halts once each neighbour's blob has fully arrived.
-    """
-
-    payload_words = 256  # overridden per run via subclassing in _workload()
-
-    def __init__(self, vertex, neighbors, n):
-        super().__init__(vertex, neighbors, n)
-        self._received: set = set()
-
-    def on_round(self, round_index, inbox):
-        for message in inbox:
-            self._received.add(message.sender)
-        if round_index == 0:
-            blob = tuple(range(self.payload_words - 1))
-            return self.send_to_all_neighbors("blob", blob)
-        if len(self._received) == len(self.neighbors):
-            self.output = len(self._received)
-            self.halt()
-        return []
-
-
-def _workload(payload_words: int):
-    return type(
-        "BroadcastBlobSized", (BroadcastBlob,), {"payload_words": payload_words}
-    )
 
 
 def run_config(
@@ -75,7 +43,7 @@ def run_config(
 ) -> dict:
     """Time every backend on one configuration; assert they agree."""
     graph = erdos_renyi(n, avg_degree, seed=seed)
-    factory = _workload(payload_words)
+    factory = broadcast_workload(payload_words)
     row: dict = {
         "n": n,
         "edges": graph.number_of_edges(),

@@ -1,0 +1,164 @@
+"""E12 — Distributed listing on the engine: Theorem 32 executed per-vertex.
+
+The acceptance workload of the distributed listing pipeline: run the
+recursive triangle-listing recursion (expander decomposition -> per-cluster
+2-hop + partition-tree edge learning -> edge removal -> recurse) as real
+per-vertex CONGEST messages through the execution engine, and check that
+
+* the listed set equals the exhaustive ground truth **exactly**, and
+* the engine-measured parallel round total stays within the cost-model
+  accountant's prediction for the same recursion,
+
+at 1,000 vertices on the vectorized backend (the headline configuration),
+plus a clean/faulty comparison showing how round counts stretch under the
+link-drop delivery scenario while the output stays exact.
+
+Run standalone (writes BENCH_e12.json at the repo root by default)::
+
+    PYTHONPATH=src python benchmarks/bench_e12_distributed_listing.py
+    PYTHONPATH=src python benchmarks/bench_e12_distributed_listing.py --smoke
+
+``--smoke`` runs the 200-vertex configuration only (the CI tier-2 job), or
+through the pytest-benchmark harness like the other experiments::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_e12_distributed_listing.py -q
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from common import listing_workload_graph
+from repro.engine import LinkDropScenario
+from repro.graphs.cliques import enumerate_cliques
+from repro.listing import list_triangles_distributed, validate_distributed_listing
+
+
+def run_config(
+    n: int,
+    backend: str = "vectorized",
+    scenario=None,
+    seed: int = 23,
+) -> dict:
+    """One distributed listing run; asserts exactness and the cost bound."""
+    graph = listing_workload_graph(n, seed=seed)
+    truth = enumerate_cliques(graph, 3)
+    start = time.perf_counter()
+    result = list_triangles_distributed(graph, backend=backend, scenario=scenario)
+    elapsed = time.perf_counter() - start
+    report = validate_distributed_listing(graph, result)
+    if result.cliques != truth:
+        raise AssertionError(
+            f"distributed listing diverged from ground truth on n={n}: "
+            f"{report.summary()}"
+        )
+    if not report.within_predicted:
+        raise AssertionError(
+            f"measured rounds exceeded the cost-model bound on n={n}: "
+            f"{report.summary()}"
+        )
+    return {
+        "n": n,
+        "edges": graph.number_of_edges(),
+        "triangles": len(truth),
+        "backend": backend,
+        "scenario": result.scenario,
+        "exact": report.coverage.correct,
+        "levels": result.levels,
+        "executions": len(result.executions),
+        "measured_rounds": result.measured_rounds,
+        "predicted_rounds": result.predicted_rounds,
+        "measured_words": result.measured_words,
+        "seconds": round(elapsed, 3),
+    }
+
+
+def run_experiment(sizes: list[int], backend: str = "vectorized") -> dict:
+    rows = []
+    for n in sizes:
+        rows.append(run_config(n, backend=backend))
+        rows.append(
+            run_config(
+                n,
+                backend=backend,
+                scenario=LinkDropScenario(drop_probability=0.1, seed=7),
+            )
+        )
+    return {
+        "experiment": "E12 distributed listing (Theorem 32 on the engine)",
+        "workload": (
+            "planted-clique graphs; recursive listing executed as per-vertex "
+            "messages; exactness and cost-model bound asserted per run"
+        ),
+        "rows": rows,
+    }
+
+
+def render(report: dict) -> str:
+    lines = [
+        "E12: distributed triangle listing on the execution engine",
+        f"{'n':>6s} {'edges':>7s} {'tris':>6s} {'scenario':<32s} "
+        f"{'levels':>6s} {'rounds':>7s} {'bound':>7s} {'secs':>7s}",
+    ]
+    for row in report["rows"]:
+        lines.append(
+            f"{row['n']:>6d} {row['edges']:>7d} {row['triangles']:>6d} "
+            f"{row['scenario']:<32s} {row['levels']:>6d} "
+            f"{row['measured_rounds']:>7d} {row['predicted_rounds']:>7d} "
+            f"{row['seconds']:>7.2f}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sizes", type=int, nargs="+", default=[200, 1000])
+    parser.add_argument("--backend", default="vectorized")
+    parser.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        help=(
+            "where to write the JSON report ('-' to skip; default: the "
+            "committed BENCH_e12.json, skipped under --smoke)"
+        ),
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="200-vertex configuration only (the CI tier-2 job)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        args.sizes = [200]
+    report = run_experiment(args.sizes, backend=args.backend)
+    print(render(report))
+    # An explicitly requested output path is always honoured; only the
+    # default (the committed report) is suppressed for smoke runs.
+    json_path = args.json
+    if json_path is None and not args.smoke:
+        json_path = Path(__file__).resolve().parent.parent / "BENCH_e12.json"
+    if json_path is not None and str(json_path) != "-":
+        json_path.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"\nwrote {json_path}")
+    return 0
+
+
+def test_e12_distributed_listing(benchmark, print_section):
+    """pytest-benchmark harness entry, small size to keep the suite fast."""
+    from conftest import run_once
+
+    report = run_once(benchmark, lambda: run_experiment([120]))
+    print_section(render(report))
+    for row in report["rows"]:
+        assert row["exact"]
+        assert row["measured_rounds"] <= row["predicted_rounds"]
+
+
+if __name__ == "__main__":
+    sys.exit(main())

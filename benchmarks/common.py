@@ -1,0 +1,74 @@
+"""Workload builders shared by the benchmark harness and the test suites.
+
+The engine throughput benchmark (E11), the distributed listing benchmark
+(E12) and the engine equivalence / distributed listing test suites all need
+the same two ingredients: a delivery-bound broadcast workload and a stable
+family of seeded workload graphs.  They live here once; ``tests/conftest.py``
+puts this directory on ``sys.path`` so the test suite imports the same
+definitions instead of duplicating them.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.congest.vertex import VertexAlgorithm
+from repro.graphs import erdos_renyi, planted_cliques, ring_of_cliques
+
+
+class BroadcastBlob(VertexAlgorithm):
+    """Every vertex broadcasts a ``payload_words``-word blob to all neighbours.
+
+    The blob is a flat tuple of ints, so it costs ``1 + len`` CONGEST words
+    and is fragmented by every backend into that many single-word rounds.
+    A vertex halts once each neighbour's blob has fully arrived.  This is
+    the delivery-bound regime the vectorized backend was built for.
+    """
+
+    payload_words = 256  # overridden per run via broadcast_workload()
+
+    def __init__(self, vertex, neighbors, n):
+        super().__init__(vertex, neighbors, n)
+        self._received: set = set()
+
+    def on_round(self, round_index, inbox):
+        for message in inbox:
+            self._received.add(message.sender)
+        if round_index == 0:
+            blob = tuple(range(self.payload_words - 1))
+            return self.send_to_all_neighbors("blob", blob)
+        if len(self._received) == len(self.neighbors):
+            self.output = len(self._received)
+            self.halt()
+        return []
+
+
+def broadcast_workload(payload_words: int) -> type[BroadcastBlob]:
+    """A :class:`BroadcastBlob` subclass with the given blob size."""
+    return type(
+        "BroadcastBlobSized", (BroadcastBlob,), {"payload_words": payload_words}
+    )
+
+
+def engine_workload_graphs() -> list[tuple[str, nx.Graph]]:
+    """The seeded workload-graph matrix of the engine equivalence suite."""
+    return [
+        ("path", nx.path_graph(10)),
+        ("dense-er", erdos_renyi(36, 12.0, seed=7)),
+        ("sparse-er", erdos_renyi(50, 4.0, seed=3)),
+        ("clique-ring", ring_of_cliques(5, 5)),
+        ("planted", planted_cliques(40, 4, 4, background_avg_degree=3.0, seed=5)),
+    ]
+
+
+def listing_workload_graph(n: int, seed: int = 23) -> nx.Graph:
+    """The standard distributed-listing workload: sparse + planted K5s.
+
+    Used by the E12 benchmark (``n = 1000`` acceptance run, ``n = 200``
+    CI smoke) and by the scale tests, so every consumer measures the same
+    graph family.
+    """
+    return planted_cliques(
+        n, clique_size=5, num_cliques=max(4, n // 25),
+        background_avg_degree=4.0, seed=seed,
+    )

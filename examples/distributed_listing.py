@@ -1,0 +1,43 @@
+"""Distributed-listing quickstart: Theorem 32 executed on the engine.
+
+Runs the recursive triangle-listing pipeline as real per-vertex CONGEST
+messages (not the cost model) on every backend and under a faulty delivery
+scenario, validating each run against the exhaustive ground truth and the
+cost accountant's predicted round bound.
+
+    PYTHONPATH=src python examples/distributed_listing.py
+"""
+
+from repro import list_triangles_distributed, validate_distributed_listing
+from repro.engine import LinkDropScenario
+from repro.graphs import planted_cliques
+
+
+def main() -> None:
+    graph = planted_cliques(
+        200, clique_size=5, num_cliques=8, background_avg_degree=4.0, seed=23
+    )
+    print(
+        f"graph: {graph.number_of_nodes()} vertices, "
+        f"{graph.number_of_edges()} edges\n"
+    )
+
+    for backend in ["reference", "vectorized", "sharded"]:
+        result = list_triangles_distributed(graph, backend=backend)
+        print(validate_distributed_listing(graph, result).summary())
+
+    result = list_triangles_distributed(
+        graph,
+        backend="vectorized",
+        scenario=LinkDropScenario(drop_probability=0.1, seed=7),
+    )
+    print(validate_distributed_listing(graph, result).summary())
+    print(
+        f"\nunder 10% link drops the output is still exact; rounds stretch to "
+        f"{result.measured_rounds} across {len(result.executions)} cluster "
+        f"execution(s) and {result.levels} recursion level(s)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -5,8 +5,14 @@ The public API re-exports the main entry points:
 
 * :func:`repro.list_cliques` / :func:`repro.list_triangles` -- the paper's
   deterministic CONGEST listing algorithms (Theorems 32 and 36) with full
-  round accounting.
-* :func:`repro.validate_listing` -- coverage check against ground truth.
+  round accounting (cost-model mode).
+* :func:`repro.list_triangles_distributed` /
+  :func:`repro.list_cliques_distributed` -- the same recursive pipeline
+  executed as real per-vertex messages on the execution engine, on any
+  backend and delivery scenario (measured-execution mode).
+* :func:`repro.validate_listing` / :func:`repro.validate_distributed_listing`
+  -- coverage checks against ground truth (plus the measured-vs-predicted
+  round cross-check for distributed runs).
 * :func:`repro.run_on_engine` -- run any per-vertex CONGEST algorithm on
   the pluggable execution engine (:mod:`repro.engine`): reference,
   vectorized, or sharded backend, under pluggable delivery scenarios.
@@ -20,25 +26,36 @@ from repro.listing import (
     ListingResult,
     TriangleListing,
     CliqueListing,
+    DistributedListingDriver,
+    DistributedListingResult,
     list_cliques,
     list_triangles,
+    list_cliques_distributed,
+    list_triangles_distributed,
     validate_listing,
     validate_on_engine,
+    validate_distributed_listing,
 )
-from repro.listing.validation import CoverageReport
+from repro.listing.validation import CoverageReport, DistributedValidationReport
 from repro.engine import run_algorithm as run_on_engine
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ListingResult",
     "TriangleListing",
     "CliqueListing",
+    "DistributedListingDriver",
+    "DistributedListingResult",
     "list_cliques",
     "list_triangles",
+    "list_cliques_distributed",
+    "list_triangles_distributed",
     "validate_listing",
     "validate_on_engine",
+    "validate_distributed_listing",
     "run_on_engine",
     "CoverageReport",
+    "DistributedValidationReport",
     "__version__",
 ]

@@ -67,6 +67,22 @@ def count_cliques(graph: nx.Graph, p: int) -> int:
     return len(enumerate_cliques(graph, p))
 
 
+def cliques_in_edge_set(edges: Iterable[tuple[int, int]], p: int) -> set[Clique]:
+    """All ``K_p`` formed by a (small) explicit edge set.
+
+    This is the local computation a vertex performs after *learning* a set of
+    edges (the final step of Lemmas 34 and 37, and of the distributed
+    edge-learning protocol): every ``p``-subset of endpoints whose
+    ``p(p-1)/2`` edges are all present in the set is a clique instance.
+    """
+    edge_list = list(edges)
+    if not edge_list:
+        return set()
+    graph = nx.Graph()
+    graph.add_edges_from(edge_list)
+    return enumerate_cliques(graph, p)
+
+
 def cliques_containing_edge(graph: nx.Graph, edge: tuple[int, int], p: int) -> set[Clique]:
     """All ``K_p`` instances that contain the given edge."""
     u, v = edge

@@ -25,35 +25,12 @@ import networkx as nx
 from repro.congest.cost import RoutingOverhead
 from repro.decomposition.cluster import KpCompatibleCluster
 from repro.decomposition.routing import ClusterRouter
-from repro.graphs.cliques import Clique, canonical_clique
+from repro.graphs.cliques import Clique, cliques_in_edge_set
 from repro.listing.local import two_hop_exhaustive_listing
 from repro.listing.recursion import ClusterTask, ListingResult, RecursiveListingDriver
 from repro.partition_trees.split_tree import construct_split_kp_tree
 
 Edge = tuple[int, int]
-
-
-def _cliques_in_edges(edges: set[Edge], p: int) -> set[Clique]:
-    """All ``K_p`` formed by a (small) explicit edge set."""
-    if not edges:
-        return set()
-    graph = nx.Graph()
-    graph.add_edges_from(edges)
-    adjacency = {v: set(graph.neighbors(v)) for v in graph.nodes}
-    found: set[Clique] = set()
-
-    def extend(partial: list[int], candidates: set[int]) -> None:
-        if len(partial) == p:
-            found.add(canonical_clique(partial))
-            return
-        for candidate in sorted(candidates):
-            if candidate <= partial[-1]:
-                continue
-            extend(partial + [candidate], candidates & adjacency[candidate])
-
-    for vertex in sorted(graph.nodes):
-        extend([vertex], {u for u in adjacency[vertex] if u > vertex})
-    return found
 
 
 @dataclass
@@ -217,7 +194,7 @@ class CliqueListing:
                     ancestors[first].vertices(), ancestors[second].vertices()
                 )
             received_load[owner] = received_load.get(owner, 0) + len(learned)
-            found |= _cliques_in_edges(learned, self.p)
+            found |= cliques_in_edge_set(learned, self.p)
 
         # Final edge-delivery step of Lemma 37: every V^- vertex pushes its
         # edges to the leaf owners that need them.  Loads are

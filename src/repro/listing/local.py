@@ -59,6 +59,33 @@ def cliques_through_vertex(graph: nx.Graph, vertex: int, p: int) -> set[Clique]:
     return found
 
 
+def charge_exhaustive_pass(
+    graph: nx.Graph,
+    vertices: Iterable[int],
+    alpha: int,
+    accountant: CostAccountant,
+    phase: str = "exhaustive-2hop",
+) -> int:
+    """Charge the ``O(alpha)`` round cost of the Lemma 35 pass, nothing else.
+
+    Shared by :func:`two_hop_exhaustive_listing` (which also performs the
+    centralized clique extraction) and by the distributed listing planner,
+    which needs the *predicted* cost of an exhaustive pass it is about to
+    execute for real on the engine.  Returns the charged round bound.
+    """
+    vertex_list = [v for v in vertices if v in graph]
+    rounds = exhaustive_rounds_bound(alpha)
+    if vertex_list:
+        accountant.direct_exchange(
+            max_words_sent_per_vertex=2 * alpha,
+            max_words_received_per_vertex=2 * alpha,
+            min_degree=1,
+            phase=phase,
+            total_words=sum(min(alpha, graph.degree(v)) * 2 for v in vertex_list),
+        )
+    return rounds
+
+
 @dataclass
 class ExhaustiveListingOutcome:
     """Result of the 2-hop exhaustive pass over a set of vertices."""
@@ -99,13 +126,7 @@ def two_hop_exhaustive_listing(
         alpha = max(graph.degree(v) for v in vertex_list)
     rounds = exhaustive_rounds_bound(alpha)
     if accountant is not None:
-        accountant.direct_exchange(
-            max_words_sent_per_vertex=2 * alpha,
-            max_words_received_per_vertex=2 * alpha,
-            min_degree=1,
-            phase=phase,
-            total_words=sum(min(alpha, graph.degree(v)) * 2 for v in vertex_list),
-        )
+        charge_exhaustive_pass(graph, vertex_list, alpha, accountant, phase=phase)
     cliques: set[Clique] = set()
     for vertex in vertex_list:
         cliques |= cliques_through_vertex(graph, vertex, p)

@@ -82,6 +82,24 @@ class ClusterTask:
 
 ClusterHandler = Callable[[ClusterTask], set[Clique]]
 
+# Covers the residual edges left when the recursion bottoms out: called as
+# ``fallback(graph, residual_edges, p, accountant)`` and returns the cliques
+# found.  The default (:func:`exhaustive_fallback`) runs the centralized
+# Lemma 35 pass under the cost model; the distributed driver substitutes an
+# engine-executed pass with identical output.
+FallbackHandler = Callable[[nx.Graph, set[Edge], int, CostAccountant], set[Clique]]
+
+
+def exhaustive_fallback(
+    graph: nx.Graph, residual: set[Edge], p: int, accountant: CostAccountant
+) -> set[Clique]:
+    """Default safety net: exhaustively cover the residual edges (cost model)."""
+    endpoints = {u for e in residual for u in e}
+    outcome = two_hop_exhaustive_listing(
+        graph, endpoints, p, accountant=accountant, phase="fallback-exhaustive"
+    )
+    return outcome.cliques
+
 
 @dataclass
 class LevelReport:
@@ -187,7 +205,12 @@ class RecursiveListingDriver:
 
     # -- the recursion ----------------------------------------------------------
 
-    def run(self, graph: nx.Graph, handler: ClusterHandler) -> ListingResult:
+    def run(
+        self,
+        graph: nx.Graph,
+        handler: ClusterHandler,
+        fallback: FallbackHandler | None = None,
+    ) -> ListingResult:
         n = graph.number_of_nodes()
         metrics = CongestMetrics()
         global_accountant = self.new_accountant(n, metrics)
@@ -268,13 +291,10 @@ class RecursiveListingDriver:
         # Safety net: exhaustively cover whatever the recursion left behind.
         fallback_edges = len(residual)
         if residual:
-            endpoints = {u for e in residual for u in e}
-            outcome = two_hop_exhaustive_listing(
-                graph, endpoints, self.p, accountant=global_accountant,
-                phase="fallback-exhaustive",
-            )
-            reports += len(outcome.cliques)
-            cliques |= outcome.cliques
+            cover = fallback if fallback is not None else exhaustive_fallback
+            found = cover(graph, residual, self.p, global_accountant)
+            reports += len(found)
+            cliques |= found
 
         return ListingResult(
             cliques=cliques,

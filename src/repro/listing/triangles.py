@@ -18,31 +18,62 @@ from __future__ import annotations
 
 import itertools
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import networkx as nx
 
-from repro.congest.cost import RoutingOverhead
+from repro.congest.cost import CostAccountant, RoutingOverhead, polylog_overhead
+from repro.congest.metrics import CongestMetrics
 from repro.decomposition.cluster import K3CompatibleCluster
 from repro.decomposition.routing import ClusterRouter
-from repro.graphs.cliques import Clique, canonical_clique
-from repro.listing.local import two_hop_exhaustive_listing
+from repro.graphs.cliques import Clique, cliques_in_edge_set
+from repro.listing.local import charge_exhaustive_pass, two_hop_exhaustive_listing
 from repro.listing.recursion import ClusterTask, ListingResult, RecursiveListingDriver
 from repro.partition_trees.construction import construct_k3_partition_tree
 from repro.partition_trees.tree import HTreeConstraints
 
+Edge = tuple[int, int]
 
-def _triangles_in_edges(edges: set[tuple[int, int]]) -> set[Clique]:
-    """All triangles formed by a (small) explicit edge set."""
-    adjacency: dict[int, set[int]] = {}
-    for u, v in edges:
-        adjacency.setdefault(u, set()).add(v)
-        adjacency.setdefault(v, set()).add(u)
-    triangles: set[Clique] = set()
-    for u, v in edges:
-        for w in adjacency[u] & adjacency[v]:
-            triangles.add(canonical_clique((u, v, w)))
-    return triangles
+
+@dataclass
+class TriangleClusterBlueprint:
+    """The Lemma 34 work division inside one cluster, execution-agnostic.
+
+    The blueprint separates *what* a cluster computes from *how* it is
+    executed: the cost-model handler charges its communication primitives
+    and extracts the cliques centrally, while the distributed driver
+    (:mod:`repro.listing.distributed`) compiles the same blueprint into a
+    per-vertex message protocol and runs it on the execution engine.
+
+    Attributes:
+        cluster: the K3-compatible communication cluster over the
+            augmented (working) edge set.
+        working: the working graph the cluster listing operates on.
+        low_degree: vertices below ``δ = K^{1/3}`` — handled by the
+            exhaustive 2-hop pass of Lemma 35.
+        alpha: degree bound used for the exhaustive pass round cost.
+        tiny_core: ``V_C^-`` members when there are fewer than three of
+            them (exhausted directly instead of building a tree).
+        owner_edges: for every ``V_C^*`` leaf-part owner, the ancestor-part
+            edges it must learn (step 2 of Lemma 34).
+        received_load: per-owner number of learned edge words (before
+            per-owner deduplication), as the cost model charges it.
+        load_per_degree: the ``L`` parameter of the Theorem 6 routing.
+    """
+
+    cluster: K3CompatibleCluster
+    working: nx.Graph
+    low_degree: list[int] = field(default_factory=list)
+    alpha: int = 1
+    tiny_core: list[int] = field(default_factory=list)
+    owner_edges: dict[int, set[Edge]] = field(default_factory=dict)
+    received_load: dict[int, int] = field(default_factory=dict)
+    load_per_degree: float = 0.0
+
+    @property
+    def listers(self) -> list[int]:
+        """Vertices that run the exhaustive 2-hop pass."""
+        return list(self.low_degree) + list(self.tiny_core)
 
 
 @dataclass
@@ -70,52 +101,136 @@ class TriangleListing:
         )
         return driver.run(graph, self._handle_cluster)
 
-    # -- Lemma 34: listing inside one cluster ----------------------------------
+    # -- Lemma 34: the cluster blueprint (shared with the distributed driver) --
 
-    def _handle_cluster(self, task: ClusterTask) -> set[Clique]:
+    def blueprint_cluster(
+        self, task: ClusterTask, accountant: CostAccountant
+    ) -> TriangleClusterBlueprint:
+        """Compute the Lemma 34 work division for one cluster.
+
+        The partition-tree construction (Theorem 16, via the Theorem 11
+        streaming simulation) is performed here and its round cost is
+        charged to ``accountant``; the returned blueprint records which
+        vertices run the exhaustive pass and which edges each ``V_C^*``
+        owner must learn.  The caller decides how the remaining
+        communication happens: charged to the cost model
+        (:meth:`_handle_cluster`) or executed as per-vertex messages
+        (:mod:`repro.listing.distributed`).
+        """
         working = task.working_graph()
         cluster = K3CompatibleCluster.from_edges(task.graph, task.working_edges)
-        router = ClusterRouter(
-            cluster=cluster, accountant=task.accountant,
-            phase_prefix=f"level{task.level}-c{task.cluster_index}",
-        )
-        found: set[Clique] = set()
-
-        # Low-degree vertices: exhaustive 2-hop search (Lemma 35).
         delta = cluster.delta
-        low_degree = [v for v in working.nodes if working.degree(v) < delta]
-        if low_degree:
-            outcome = two_hop_exhaustive_listing(
-                working, low_degree, p=3,
-                alpha=max(1, math.ceil(delta)),
-                accountant=task.accountant,
-                phase=f"level{task.level}-c{task.cluster_index}:low-degree",
-            )
-            found |= outcome.cliques
-
-        # High-degree vertices: K3-partition tree over C[V_C^-] (Theorem 16).
+        blueprint = TriangleClusterBlueprint(
+            cluster=cluster,
+            working=working,
+            low_degree=[v for v in working.nodes if working.degree(v) < delta],
+            alpha=max(1, math.ceil(delta)),
+        )
         members = cluster.ordered_members()
         if len(members) >= 3:
-            found |= self._list_high_degree(task, cluster, router, working)
+            self._plan_high_degree(task, cluster, working, blueprint, accountant)
         elif members:
-            outcome = two_hop_exhaustive_listing(
-                working, members, p=3,
-                accountant=task.accountant,
-                phase=f"level{task.level}-c{task.cluster_index}:tiny-core",
+            blueprint.tiny_core = members
+        return blueprint
+
+    def charge_blueprint(
+        self, task: ClusterTask, blueprint: TriangleClusterBlueprint,
+        accountant: CostAccountant,
+    ) -> None:
+        """Charge the communication costs of the blueprint's remaining steps.
+
+        Covers the Lemma 35 exhaustive passes and the Theorem 6 edge
+        delivery; the tree-construction cost was already charged when the
+        blueprint was built.
+        """
+        prefix = f"level{task.level}-c{task.cluster_index}"
+        if blueprint.low_degree:
+            charge_exhaustive_pass(
+                blueprint.working, blueprint.low_degree, blueprint.alpha,
+                accountant, phase=f"{prefix}:low-degree",
             )
-            found |= outcome.cliques
+        if blueprint.tiny_core:
+            tiny_alpha = max(blueprint.working.degree(v) for v in blueprint.tiny_core)
+            charge_exhaustive_pass(
+                blueprint.working, blueprint.tiny_core, tiny_alpha,
+                accountant, phase=f"{prefix}:tiny-core",
+            )
+        # Step 1/2 of Lemma 34: interval announcements plus edge deliveries.
+        # Loads are degree-proportional (each vertex sends each of its edges
+        # O(k^{1/3}) times; each V* owner receives O(k^{1/3} deg(v)) edges),
+        # so the routing of Theorem 6 takes ~k^{1/3} * n^{o(1)} rounds.
+        if blueprint.load_per_degree > 0:
+            router = ClusterRouter(
+                cluster=blueprint.cluster, accountant=accountant,
+                phase_prefix=prefix,
+            )
+            router.route_proportional(
+                load_per_degree=blueprint.load_per_degree,
+                total_words=sum(blueprint.received_load.values()),
+                phase="lemma34-edge-learning",
+            )
+
+    def predict_cluster_cost(
+        self, task: ClusterTask
+    ) -> tuple[TriangleClusterBlueprint, CostAccountant]:
+        """Blueprint plus the cost model's round prediction for the cluster.
+
+        Used by the distributed driver as the cross-check baseline: the
+        prediction accounts the full Lemma 34 pipeline (tree construction,
+        exhaustive passes, Theorem 6 edge delivery) the way the cost-model
+        execution mode would.
+        """
+        accountant = CostAccountant(
+            n=task.graph.number_of_nodes(),
+            overhead=self.overhead if self.overhead is not None else polylog_overhead(),
+            metrics=CongestMetrics(),
+        )
+        blueprint = self.blueprint_cluster(task, accountant)
+        self.charge_blueprint(task, blueprint, accountant)
+        return blueprint, accountant
+
+    # -- Lemma 34: the cost-model execution of the blueprint -------------------
+
+    def _handle_cluster(self, task: ClusterTask) -> set[Clique]:
+        blueprint = self.blueprint_cluster(task, task.accountant)
+        self.charge_blueprint(task, blueprint, task.accountant)
+        return self.cliques_from_blueprint(blueprint)
+
+    @staticmethod
+    def cliques_from_blueprint(blueprint: TriangleClusterBlueprint) -> set[Clique]:
+        """Centrally extract the triangles a blueprint's cluster reports.
+
+        Listers report every triangle through themselves in their 2-hop
+        working-graph view (Lemma 35); each ``V_C^*`` owner reports the
+        triangles among the ancestor-part edges it learned.  This is
+        exactly what the per-vertex outputs of the distributed protocol
+        union to, which is what makes the two modes output-equivalent.
+        """
+        found: set[Clique] = set()
+        for listers in (blueprint.low_degree, blueprint.tiny_core):
+            if listers:
+                found |= two_hop_exhaustive_listing(
+                    blueprint.working, listers, p=3
+                ).cliques
+        for owner in sorted(blueprint.owner_edges):
+            found |= cliques_in_edge_set(blueprint.owner_edges[owner], 3)
         return found
 
-    def _list_high_degree(
+    def _plan_high_degree(
         self,
         task: ClusterTask,
         cluster: K3CompatibleCluster,
-        router: ClusterRouter,
         working: nx.Graph,
-    ) -> set[Clique]:
+        blueprint: TriangleClusterBlueprint,
+        accountant: CostAccountant,
+    ) -> None:
+        """Theorem 16 + step 2 of Lemma 34: who must learn which edges."""
         members = cluster.ordered_members()
-        member_set = set(members)
         core_graph = working.subgraph(members)
+        router = ClusterRouter(
+            cluster=cluster, accountant=accountant,
+            phase_prefix=f"level{task.level}-c{task.cluster_index}",
+        )
         result = construct_k3_partition_tree(
             cluster, router=router,
             constraints=HTreeConstraints(p=3),
@@ -128,7 +243,7 @@ class TriangleListing:
 
         tree = result.tree
         assignment = result.assignment
-        found: set[Clique] = set()
+        owner_edges: dict[int, set[Edge]] = {}
         received_load: dict[int, int] = {}
         x = max(1.0, len(members) ** (1.0 / 3.0))
 
@@ -137,29 +252,22 @@ class TriangleListing:
             node = tree.node_at(path)
             ancestors = tree.ancestor_parts(node, part_index)
             ancestor_sets = [set(part.vertices()) for part in ancestors]
-            learned: set[tuple[int, int]] = set()
+            learned: set[Edge] = set()
             for first, second in itertools.combinations(range(len(ancestor_sets)), 2):
                 left, right = ancestor_sets[first], ancestor_sets[second]
                 for u in left:
                     for w in adjacency.get(u, ()) & right:
                         learned.add((u, w) if u <= w else (w, u))
             received_load[owner] = received_load.get(owner, 0) + len(learned)
-            found |= _triangles_in_edges(learned)
+            owner_edges.setdefault(owner, set()).update(learned)
 
-        # Step 1/2 of Lemma 34: interval announcements plus edge deliveries.
-        # Loads are degree-proportional (each vertex sends each of its edges
-        # O(k^{1/3}) times; each V* owner receives O(k^{1/3} deg(v)) edges),
-        # so the routing of Theorem 6 takes ~k^{1/3} * n^{o(1)} rounds.
         load_per_degree = x  # the send side: every edge travels O(x) times
         for owner, received in received_load.items():
             degree = max(1, cluster.communication_degree(owner))
             load_per_degree = max(load_per_degree, received / degree)
-        router.route_proportional(
-            load_per_degree=load_per_degree,
-            total_words=sum(received_load.values()),
-            phase="lemma34-edge-learning",
-        )
-        return found
+        blueprint.owner_edges = owner_edges
+        blueprint.received_load = received_load
+        blueprint.load_per_degree = load_per_degree
 
 
 def list_triangles(graph: nx.Graph, **kwargs) -> ListingResult:

@@ -67,6 +67,62 @@ def validate_listing(graph: nx.Graph, result: ListingResult) -> CoverageReport:
     )
 
 
+@dataclass
+class DistributedValidationReport:
+    """Validation of an engine-executed listing run.
+
+    Couples the output coverage check (exactness against the centralized
+    ground truth) with the cost cross-check: the engine-measured parallel
+    round total must stay within the cost accountant's prediction for the
+    same recursion (which includes the centrally performed preprocessing —
+    expander decomposition and partition-tree construction — so it is an
+    upper bound on what the protocol itself may spend).
+    """
+
+    coverage: CoverageReport
+    measured_rounds: int
+    predicted_rounds: int
+    backend: str
+    scenario: str
+
+    @property
+    def within_predicted(self) -> bool:
+        return self.measured_rounds <= self.predicted_rounds
+
+    @property
+    def ok(self) -> bool:
+        return self.coverage.correct and self.within_predicted
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else "FAILED"
+        coverage = self.coverage
+        return (
+            f"[{status}] K_{coverage.p}: {coverage.listed}/{coverage.expected} "
+            f"listed, {len(coverage.missing)} missing, "
+            f"{len(coverage.spurious)} spurious | backend={self.backend} "
+            f"scenario={self.scenario} measured={self.measured_rounds} "
+            f"predicted<={self.predicted_rounds}"
+        )
+
+
+def validate_distributed_listing(
+    graph: nx.Graph, result
+) -> DistributedValidationReport:
+    """Validate a :class:`~repro.listing.distributed.DistributedListingResult`.
+
+    Checks (a) that the union of the per-vertex outputs across all engine
+    executions equals the exhaustive ``K_p`` ground truth and (b) that the
+    measured parallel round total stays within the cost model's prediction.
+    """
+    return DistributedValidationReport(
+        coverage=validate_listing(graph, result),
+        measured_rounds=result.measured_rounds,
+        predicted_rounds=result.predicted_rounds,
+        backend=result.backend,
+        scenario=result.scenario,
+    )
+
+
 def validate_on_engine(
     graph: nx.Graph,
     factory,

@@ -1,11 +1,23 @@
-"""Shared fixtures for the test suite: small deterministic workload graphs."""
+"""Shared fixtures for the test suite: small deterministic workload graphs.
+
+Workload *builders* (the broadcast blob algorithm, the engine equivalence
+graph matrix, the distributed-listing scaling graph) are shared with the
+benchmark harness and live in ``benchmarks/common.py``; this conftest puts
+that directory on ``sys.path`` so test modules can ``from common import``
+the same definitions instead of duplicating them.
+"""
 
 from __future__ import annotations
+
+import sys
+from pathlib import Path
 
 import networkx as nx
 import pytest
 
-from repro.graphs import (
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "benchmarks"))
+
+from repro.graphs import (  # noqa: E402  (after the sys.path entry above)
     clustered_communities,
     erdos_renyi,
     expander_like,

@@ -1,0 +1,127 @@
+"""Measured engine costs vs. the cost-model accountant, on fixed graphs.
+
+Tolerance (documented contract): the cost model charges the *full* pipeline,
+including the steps the distributed execution performs as centralized
+preprocessing — the CS20 expander decomposition (Theorem 5), the
+partition-tree construction (Theorem 16) and the ``n^{o(1)}`` routing
+overhead of Theorem 6.  The prediction is therefore a strict upper bound on
+the rounds the message protocol itself may spend:
+
+    levels <= measured_rounds <= predicted_rounds   (tolerance factor 1.0)
+
+Both modes are built from the same per-cluster blueprint, so they must also
+agree *exactly* on the listed clique set at every recursion level — which
+makes the final sets equal, not merely both-correct.
+"""
+
+import networkx as nx
+import pytest
+
+from common import listing_workload_graph
+from repro.graphs import erdos_renyi, planted_cliques, ring_of_cliques
+from repro.graphs.cliques import enumerate_cliques
+from repro.listing import (
+    list_triangles,
+    list_triangles_distributed,
+    validate_distributed_listing,
+)
+
+
+def fixed_graphs():
+    tiny = nx.Graph([(0, 1), (1, 2), (0, 2), (2, 3), (1, 3), (3, 4)])
+    return [
+        pytest.param(tiny, id="tiny"),
+        pytest.param(ring_of_cliques(5, 5), id="clique-ring"),
+        pytest.param(erdos_renyi(36, 12.0, seed=7), id="dense-er"),
+        pytest.param(erdos_renyi(50, 4.0, seed=3), id="sparse-er"),
+        pytest.param(
+            planted_cliques(40, 4, 4, background_avg_degree=3.0, seed=5),
+            id="planted",
+        ),
+    ]
+
+
+@pytest.mark.parametrize("graph", fixed_graphs())
+def test_distributed_cliques_equal_cost_model_cliques(graph):
+    cost = list_triangles(graph)
+    distributed = list_triangles_distributed(graph, backend="reference")
+    truth = enumerate_cliques(graph, 3)
+    assert cost.cliques == truth
+    assert distributed.cliques == cost.cliques
+
+
+@pytest.mark.parametrize("graph", fixed_graphs())
+def test_measured_rounds_within_cost_model_prediction(graph):
+    distributed = list_triangles_distributed(graph, backend="vectorized")
+    assert distributed.executions, "listing must execute at least one protocol"
+    # Upper bound: the accountant's prediction covers the whole pipeline.
+    assert distributed.measured_rounds <= distributed.predicted_rounds
+    # Lower sanity bound: every recursion level costs at least one round.
+    assert distributed.measured_rounds >= max(1, distributed.levels)
+    # Real traffic crossed the network.
+    assert distributed.measured_words > 0
+    assert distributed.measured_messages > 0
+
+
+@pytest.mark.parametrize("graph", fixed_graphs())
+def test_predicted_rounds_match_cost_model_run(graph):
+    """The embedded prediction equals an independent cost-model run."""
+    cost = list_triangles(graph)
+    distributed = list_triangles_distributed(graph, backend="vectorized")
+    assert distributed.predicted_rounds == cost.rounds
+
+
+def test_per_level_parallel_accounting_takes_cluster_maximum():
+    """Clusters of a level run in parallel: a level costs its slowest cluster."""
+    graph = nx.disjoint_union(nx.complete_graph(30), nx.complete_graph(30))
+    graph.add_edge(0, 30)
+    distributed = list_triangles_distributed(graph, backend="vectorized")
+    level0 = [e for e in distributed.executions if e.level == 0 and not e.is_fallback]
+    assert len(level0) >= 2, "the bridge cut must split the graph into clusters"
+    per_level: dict[int, int] = {}
+    fallback = 0
+    for record in distributed.executions:
+        if record.is_fallback:
+            fallback += record.rounds
+        else:
+            per_level[record.level] = max(
+                per_level.get(record.level, 0), record.rounds
+            )
+    assert distributed.measured_rounds == sum(per_level.values()) + fallback
+    assert distributed.measured_rounds < sum(
+        record.rounds for record in distributed.executions
+    ) + 1  # strict when a level has >= 2 clusters, degenerate otherwise
+    assert distributed.cliques == enumerate_cliques(graph, 3)
+
+
+def test_validation_report_cross_checks_costs():
+    # The same graph family the E12 benchmark scales to 200/1000 vertices.
+    graph = listing_workload_graph(60)
+    distributed = list_triangles_distributed(graph, backend="vectorized")
+    report = validate_distributed_listing(graph, distributed)
+    assert report.coverage.correct
+    assert report.within_predicted
+    assert report.ok
+    assert "OK" in report.summary()
+
+
+def test_measured_rounds_fold_into_driver_accounting():
+    """Driver totals = measured executions + the charged decomposition cost.
+
+    The recursion charges the centrally performed CS20 decomposition per
+    level and folds each level's slowest cluster execution on top, so the
+    driver-level round total must decompose exactly.
+    """
+    graph = erdos_renyi(30, 6.0, seed=1)
+    distributed = list_triangles_distributed(graph, backend="vectorized")
+    decomposition = sum(
+        report.decomposition_rounds for report in distributed.level_reports
+    )
+    assert distributed.rounds == distributed.measured_rounds + decomposition
+    # Engine traffic is attributed to the per-level cluster phases.
+    cluster_messages = sum(
+        count
+        for phase, count in distributed.metrics.phase_messages.items()
+        if phase.endswith(":clusters")
+    )
+    assert cluster_messages == distributed.measured_messages

@@ -10,6 +10,7 @@ experiments run on the fast backends without re-validating semantics.
 import networkx as nx
 import pytest
 
+from common import engine_workload_graphs
 from repro.baselines.naive import NeighborhoodExchangeTriangles
 from repro.congest.vertex import VertexAlgorithm
 from repro.engine import (
@@ -18,7 +19,7 @@ from repro.engine import (
     ShardedBackend,
     run_algorithm,
 )
-from repro.graphs import erdos_renyi, planted_cliques, ring_of_cliques
+from repro.graphs import erdos_renyi
 from repro.graphs.cliques import enumerate_cliques
 from repro.listing.validation import validate_on_engine
 
@@ -93,15 +94,8 @@ ALGORITHMS = [FloodMin, BlobGossip, StaggeredEcho, NeighborhoodExchangeTriangles
 
 def workload_graphs():
     return [
-        pytest.param("path", nx.path_graph(10), id="path"),
-        pytest.param("dense-er", erdos_renyi(36, 12.0, seed=7), id="dense-er"),
-        pytest.param("sparse-er", erdos_renyi(50, 4.0, seed=3), id="sparse-er"),
-        pytest.param("clique-ring", ring_of_cliques(5, 5), id="clique-ring"),
-        pytest.param(
-            "planted",
-            planted_cliques(40, 4, 4, background_avg_degree=3.0, seed=5),
-            id="planted",
-        ),
+        pytest.param(name, graph, id=name)
+        for name, graph in engine_workload_graphs()
     ]
 
 
