@@ -16,6 +16,10 @@ The public API re-exports the main entry points:
 * :func:`repro.run_on_engine` -- run any per-vertex CONGEST algorithm on
   the pluggable execution engine (:mod:`repro.engine`): reference,
   vectorized, or sharded backend, under pluggable delivery scenarios.
+* :class:`repro.VectorAlgorithm` -- the vectorized per-vertex layer: one
+  ``on_round`` call steps all vertices on numpy arrays, eliminating Python
+  per-vertex dispatch for array-friendly workloads while the same class
+  still runs per-vertex (via its ``per_vertex`` twin) on every backend.
 * :mod:`repro.graphs` -- workload generators and structural utilities.
 * :mod:`repro.congest`, :mod:`repro.decomposition`, :mod:`repro.streaming`,
   :mod:`repro.partition_trees` -- the substrates the algorithms are built on.
@@ -37,11 +41,13 @@ from repro.listing import (
     validate_distributed_listing,
 )
 from repro.listing.validation import CoverageReport, DistributedValidationReport
+from repro.engine import VectorAlgorithm
 from repro.engine import run_algorithm as run_on_engine
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
+    "VectorAlgorithm",
     "ListingResult",
     "TriangleListing",
     "CliqueListing",

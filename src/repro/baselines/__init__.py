@@ -15,7 +15,10 @@
 """
 
 from repro.baselines.naive import (
+    BFSTreeLayers,
+    FloodMinimum,
     NeighborhoodExchangeTriangles,
+    bfs_tree_workload,
     naive_listing,
     neighborhood_exchange_listing,
 )
@@ -24,7 +27,10 @@ from repro.baselines.congested_clique import congested_clique_listing
 from repro.baselines.chang_saranurak import cs20_triangle_listing
 
 __all__ = [
+    "BFSTreeLayers",
+    "FloodMinimum",
     "NeighborhoodExchangeTriangles",
+    "bfs_tree_workload",
     "naive_listing",
     "neighborhood_exchange_listing",
     "randomized_partition_listing",

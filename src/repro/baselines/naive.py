@@ -1,6 +1,6 @@
-"""Naive CONGEST listing baselines.
+"""Naive CONGEST baselines: listing by neighbourhood exchange + primitives.
 
-Two flavours are provided:
+Two listing flavours are provided:
 
 * :class:`NeighborhoodExchangeTriangles` -- a genuine per-vertex CONGEST
   algorithm (run on the faithful simulator) in which every vertex announces
@@ -16,6 +16,14 @@ Two flavours are provided:
 the pluggable execution engine (:mod:`repro.engine`), so the same baseline
 can be run on the reference, vectorized, or sharded backend and under any
 delivery scenario.
+
+The module also hosts the textbook *per-vertex primitives* the engine's
+workload suites are built from — :class:`FloodMinimum` (leader election by
+flooding the minimum identifier) and :class:`BFSTreeLayers` (layered BFS
+tree construction).  They are deliberately written to be independent of
+within-round inbox ordering, so they run identically on every backend, and
+each has a whole-network :class:`~repro.engine.vector.VectorAlgorithm` twin
+in ``benchmarks/common.py``.
 """
 
 from __future__ import annotations
@@ -88,6 +96,80 @@ def neighborhood_exchange_listing(
         phase="naive-exchange",
     )
     return ListingResult.from_engine_run(run, p=3)
+
+
+class FloodMinimum(VertexAlgorithm):
+    """Leader election by flooding: every vertex learns the minimum id.
+
+    A vertex re-broadcasts whenever its best-known identifier improves and
+    halts (outputting the minimum) after ``n`` consecutive quiet rounds —
+    long enough for any improvement to have crossed the network even under
+    the engine's bounded-delay scenarios.  The min-fold is order-independent,
+    so all backends agree exactly.
+    """
+
+    def __init__(self, vertex: Hashable, neighbors: Iterable[Hashable], n: int):
+        super().__init__(vertex, neighbors, n)
+        self.best = vertex
+        self._changed = True
+        self._quiet_rounds = 0
+
+    def on_round(self, round_index: int, inbox: list[Message]) -> list[Message]:
+        for message in inbox:
+            if message.payload < self.best:
+                self.best = message.payload
+                self._changed = True
+        if self._changed:
+            self._changed = False
+            self._quiet_rounds = 0
+            return self.send_to_all_neighbors("min", self.best)
+        self._quiet_rounds += 1
+        if self._quiet_rounds > self.n:
+            self.output = self.best
+            self.halt()
+        return []
+
+
+class BFSTreeLayers(VertexAlgorithm):
+    """Layered BFS-tree construction from a designated root.
+
+    The root adopts distance 0 in round 0; every other vertex adopts
+    ``min(d) + 1`` over the distance announcements in its inbox, choosing
+    the smallest-id announcing neighbour as parent (deterministic under any
+    within-round ordering), then announces its own distance and halts.
+    Output is the ``(distance, parent)`` pair, or ``None`` for vertices the
+    tree never reaches before the ``n``-round timeout.
+
+    Because a vertex halts the moment it joins the tree, late duplicate
+    announcements arrive at halted vertices and are dropped by the engine —
+    this is the canonical workload for the halted-inbox rule.
+    """
+
+    root: Hashable = 0
+
+    def __init__(self, vertex: Hashable, neighbors: Iterable[Hashable], n: int):
+        super().__init__(vertex, neighbors, n)
+        self.dist: int | None = None
+        self.parent: Hashable | None = None
+
+    def on_round(self, round_index: int, inbox: list[Message]) -> list[Message]:
+        if round_index == 0 and self.vertex == self.root:
+            self.dist, self.parent = 0, self.vertex
+        elif inbox:
+            d, sender = min((m.payload, m.sender) for m in inbox)
+            self.dist, self.parent = d + 1, sender
+        if self.dist is not None:
+            self.output = (self.dist, self.parent)
+            self.halt()
+            return self.send_to_all_neighbors("bfs", self.dist)
+        if round_index > self.n:
+            self.halt()
+        return []
+
+
+def bfs_tree_workload(root: Hashable = 0) -> type[BFSTreeLayers]:
+    """A :class:`BFSTreeLayers` subclass rooted at ``root``."""
+    return type("BFSTreeLayersRooted", (BFSTreeLayers,), {"root": root})
 
 
 @dataclass

@@ -19,6 +19,10 @@ class CongestMetrics:
         messages: total number of (word-sized) messages delivered.
         words: total number of machine words transferred (>= messages when
             payloads are fragmented).
+        dropped: messages whose receiver had already halted when the last
+            word arrived; they consumed bandwidth (and are counted in
+            ``messages`` / ``words``) but were discarded instead of queued,
+            since a halted vertex can never consume its inbox.
         phase_rounds: rounds attributed to named protocol phases.
         phase_messages: messages attributed to named protocol phases.
     """
@@ -26,6 +30,7 @@ class CongestMetrics:
     rounds: int = 0
     messages: int = 0
     words: int = 0
+    dropped: int = 0
     phase_rounds: dict[str, int] = field(default_factory=lambda: defaultdict(int))
     phase_messages: dict[str, int] = field(default_factory=lambda: defaultdict(int))
 
@@ -44,11 +49,22 @@ class CongestMetrics:
         self.words += words if words is not None else messages
         self.phase_messages[phase] += messages
 
+    def add_dropped(self, dropped: int, phase: str = "unattributed") -> None:
+        """Charge ``dropped`` messages discarded at halted receivers.
+
+        The ``phase`` argument is accepted for signature symmetry with the
+        other counters; dropped messages are tracked as a single total.
+        """
+        if dropped < 0:
+            raise ValueError(f"cannot charge a negative number of drops: {dropped}")
+        self.dropped += dropped
+
     def merge(self, other: "CongestMetrics") -> None:
         """Fold the counters of ``other`` into this object."""
         self.rounds += other.rounds
         self.messages += other.messages
         self.words += other.words
+        self.dropped += other.dropped
         for phase, value in other.phase_rounds.items():
             self.phase_rounds[phase] += value
         for phase, value in other.phase_messages.items():
@@ -60,11 +76,13 @@ class CongestMetrics:
             "rounds": self.rounds,
             "messages": self.messages,
             "words": self.words,
+            "dropped": self.dropped,
         }
 
     def reset(self) -> None:
         self.rounds = 0
         self.messages = 0
         self.words = 0
+        self.dropped = 0
         self.phase_rounds.clear()
         self.phase_messages.clear()

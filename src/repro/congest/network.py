@@ -17,19 +17,17 @@ from __future__ import annotations
 
 from collections import defaultdict, deque
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Hashable, Iterable, Mapping
+from typing import TYPE_CHECKING, Hashable, Iterable
 
 import networkx as nx
 
 from repro.congest.message import Message, words_for_payload
 from repro.congest.metrics import CongestMetrics
-from repro.congest.vertex import VertexAlgorithm
+from repro.congest.vertex import VertexAlgorithm, VertexFactory
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from repro.engine.backend import Backend
     from repro.engine.scenarios import DeliveryScenario
-
-VertexFactory = Callable[[Hashable, Iterable[Hashable], int], VertexAlgorithm]
 
 
 @dataclass
@@ -97,8 +95,12 @@ class CongestNetwork:
         Returns:
             A :class:`SynchronousRun` with metrics and per-vertex outputs.
         """
+        # Materialised neighbour tuples: a factory must be able to iterate
+        # its neighbours more than once (a lazy generator would silently
+        # read empty on the second pass).
         algorithms: dict[Hashable, VertexAlgorithm] = {
-            v: factory(v, self.graph.neighbors(v), self.n) for v in self.graph.nodes
+            v: factory(v, tuple(self.graph.neighbors(v)), self.n)
+            for v in self.graph.nodes
         }
         inboxes: dict[Hashable, list[Message]] = {v: [] for v in algorithms}
         self._edge_queues.clear()
@@ -128,8 +130,16 @@ class CongestNetwork:
 
             self._enqueue(outgoing)
             delivered, words_crossed = self._deliver_one_round(round_index)
+            dropped = 0
             for message in delivered:
+                # A halted vertex never consumes its inbox again; queueing
+                # would grow memory without bound on long runs.
+                if algorithms[message.receiver].halted:
+                    dropped += 1
+                    continue
                 inboxes[message.receiver].append(message)
+            if dropped:
+                self.metrics.add_dropped(dropped, phase=phase)
             self.metrics.add_rounds(1, phase=phase)
             self.metrics.add_messages(len(delivered), phase=phase, words=words_crossed)
         else:

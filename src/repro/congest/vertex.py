@@ -11,7 +11,7 @@ listing by local search, ...) subclass it.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Any, Hashable, Iterable
+from typing import Any, Callable, Hashable, Iterable
 
 from repro.congest.message import Message
 
@@ -30,7 +30,14 @@ class VertexAlgorithm(ABC):
             standard in CONGEST.
         halted: set to ``True`` by the algorithm when the vertex has
             terminated locally.  The run finishes when every vertex halts or
-            the round limit is reached.
+            the round limit is reached.  A halted vertex never runs again;
+            every backend *drops* deliveries addressed to a vertex that has
+            already halted (they could never be consumed, and accumulating
+            them unboundedly is a memory leak on long runs) and charges
+            them to the ``dropped`` counter of
+            :class:`~repro.congest.metrics.CongestMetrics`.  A vertex may
+            halt and send in the same round: the messages returned by the
+            halting ``on_round`` call are still transmitted.
         output: arbitrary local output (for listing algorithms: the set of
             cliques this vertex reports).
     """
@@ -77,3 +84,10 @@ class VertexAlgorithm(ABC):
                 f"vertex {self.vertex!r} cannot send directly to non-neighbour {receiver!r}"
             )
         return Message(sender=self.vertex, receiver=receiver, tag=tag, payload=payload)
+
+
+#: How every execution backend instantiates per-vertex code: called as
+#: ``factory(vertex, neighbors, n)``.  Backends always pass ``neighbors`` as
+#: a materialised tuple (never a lazy generator), so a factory may iterate
+#: it any number of times.
+VertexFactory = Callable[[Hashable, Iterable[Hashable], int], VertexAlgorithm]

@@ -9,6 +9,11 @@ are executed*:
   :class:`~repro.congest.network.CongestNetwork`; the semantic ground truth.
 * :mod:`repro.engine.vectorized` -- batch delivery over numpy edge
   occupancy; ~10-100x faster on fragmentation-heavy workloads.
+* :mod:`repro.engine.vector` -- the vectorized per-vertex layer: a
+  :class:`VectorAlgorithm` steps *all* vertices in one numpy ``on_round``
+  call, eliminating the Python per-vertex loop entirely on the vectorized
+  backend while still running per-vertex (via its ``per_vertex`` twin) on
+  the reference and sharded backends.
 * :mod:`repro.engine.sharded` -- vertex-partitioned execution across forked
   worker processes with per-round barriers.
 * :mod:`repro.engine.scenarios` -- pluggable delivery models: clean
@@ -37,9 +42,25 @@ from repro.engine.scenarios import (
     resolve_scenario,
 )
 from repro.engine.sharded import ShardedBackend
+from repro.engine.vector import (
+    VectorAlgorithm,
+    VectorInbox,
+    VectorSends,
+    VectorTopology,
+    as_vertex_factory,
+    is_vector_algorithm,
+    run_vector_algorithm,
+)
 from repro.engine.vectorized import VectorizedBackend
 
 __all__ = [
+    "VectorAlgorithm",
+    "VectorInbox",
+    "VectorSends",
+    "VectorTopology",
+    "as_vertex_factory",
+    "is_vector_algorithm",
+    "run_vector_algorithm",
     "Backend",
     "BACKENDS",
     "ReferenceBackend",

@@ -13,18 +13,16 @@ wall-clock time may differ.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Callable, Hashable, Iterable, TYPE_CHECKING
+from typing import TYPE_CHECKING
 
 import networkx as nx
 
 from repro.congest.metrics import CongestMetrics
-from repro.congest.vertex import VertexAlgorithm
+from repro.congest.vertex import VertexFactory
 from repro.engine.scenarios import DeliveryScenario
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.congest.network import SynchronousRun
-
-VertexFactory = Callable[[Hashable, Iterable[Hashable], int], VertexAlgorithm]
 
 
 class Backend(ABC):
@@ -62,6 +60,21 @@ class Backend(ABC):
         Returns:
             A :class:`~repro.congest.network.SynchronousRun`.
         """
+
+    def resolve_factory(self, factory: VertexFactory) -> VertexFactory:
+        """Adapt a :class:`~repro.engine.vector.VectorAlgorithm` for this backend.
+
+        A vector algorithm class declares a ``per_vertex`` twin; backends
+        that execute per-vertex code (reference, sharded, and the vectorized
+        backend's non-vector path) call this at the top of :meth:`run` so the
+        same class is accepted everywhere.  Ordinary per-vertex factories
+        pass through untouched.
+        """
+        from repro.engine.vector import as_vertex_factory, is_vector_algorithm
+
+        if is_vector_algorithm(factory):
+            return as_vertex_factory(factory)
+        return factory
 
     def describe(self) -> str:
         return type(self).__name__

@@ -87,6 +87,11 @@ class WordScheduler:
         self.horizon = horizon
         self.edge_free_at = np.full(len(index.edge_ids), -1, dtype=np.int64)
         self._buckets: dict[int, list[Message]] = defaultdict(list)
+        # Array-mode buckets (the vector layer): per completion round, a
+        # list of (senders, receivers, values) dense-id array chunks.
+        self._array_buckets: dict[int, list[tuple[np.ndarray, np.ndarray, np.ndarray]]] = (
+            defaultdict(list)
+        )
         # Difference array over rounds: +1 when an edge starts carrying a
         # word in a round, -1 the round after it stops.  The running sum is
         # the number of words crossing the cut in each round.
@@ -94,9 +99,8 @@ class WordScheduler:
         self._level = 0
         self.pending_messages = 0
 
-    def schedule(self, message: Message, round_index: int, words: int) -> int:
-        """Enqueue one message; returns the round its last word crosses."""
-        edge_id = self.index.edge_ids[(message.sender, message.receiver)]
+    def _transfer_done(self, edge: Edge, edge_id: int, round_index: int, words: int) -> int:
+        """Completion round of one transfer; updates occupancy and word levels."""
         start = max(int(self.edge_free_at[edge_id]) + 1, round_index)
         if self.scenario.is_clean:
             done = start + words - 1
@@ -104,7 +108,7 @@ class WordScheduler:
             self._level_diff[done + 1] -= 1
         else:
             crossings = self.scenario.transfer_schedule(
-                (message.sender, message.receiver), start, words, self.horizon
+                edge, start, words, self.horizon
             )
             for crossing in crossings:
                 self._level_diff[crossing] += 1
@@ -119,9 +123,119 @@ class WordScheduler:
             else:
                 done = crossings[-1]
         self.edge_free_at[edge_id] = done
+        return done
+
+    def schedule(self, message: Message, round_index: int, words: int) -> int:
+        """Enqueue one message; returns the round its last word crosses."""
+        edge_id = self.index.edge_ids[(message.sender, message.receiver)]
+        done = self._transfer_done(
+            (message.sender, message.receiver), edge_id, round_index, words
+        )
         self._buckets[done].append(message)
         self.pending_messages += 1
         return done
+
+    def schedule_batch(
+        self,
+        senders: np.ndarray,
+        receivers: np.ndarray,
+        edge_ids: np.ndarray,
+        words: np.ndarray,
+        values: np.ndarray,
+        round_index: int,
+    ) -> None:
+        """Bulk-enqueue transfers described by dense arrays (the vector layer).
+
+        ``senders`` / ``receivers`` are dense vertex ids, ``edge_ids`` the
+        matching directed-edge ids of this scheduler's :class:`GraphIndex`,
+        ``words`` the per-transfer word counts, and ``values`` the payload
+        words handed back verbatim by :meth:`deliver_batch`.  Semantics are
+        identical to calling :meth:`schedule` once per row in array order —
+        including FIFO queueing when the same directed edge appears more
+        than once — but the clean-scenario path is pure numpy.
+
+        Completed rounds must then be drained with :meth:`deliver_batch`;
+        a scheduler instance uses either the message-object API or the
+        array API for a whole run, never both.
+        """
+        count = int(edge_ids.size)
+        if count == 0:
+            return
+        if self.scenario.is_clean:
+            order = np.argsort(edge_ids, kind="stable")
+            e = edge_ids[order]
+            w = words[order]
+            positions = np.arange(count)
+            group_first = np.empty(count, dtype=bool)
+            group_first[0] = True
+            group_first[1:] = e[1:] != e[:-1]
+            first_index = np.maximum.accumulate(
+                np.where(group_first, positions, 0)
+            )
+            # Within an edge's FIFO group, transfer k starts right after the
+            # cumulative words of transfers 0..k-1 queued before it.
+            cumulative = np.cumsum(w)
+            preceding = cumulative - w
+            offset = preceding - preceding[first_index]
+            base = np.maximum(self.edge_free_at[e] + 1, round_index)
+            start = base[first_index] + offset
+            done = start + w - 1
+            group_last = np.empty(count, dtype=bool)
+            group_last[-1] = True
+            group_last[:-1] = group_first[1:]
+            self.edge_free_at[e[group_last]] = done[group_last]
+            for r, c in zip(*np.unique(start, return_counts=True)):
+                self._level_diff[int(r)] += int(c)
+            for r, c in zip(*np.unique(done + 1, return_counts=True)):
+                self._level_diff[int(r)] -= int(c)
+            original = order
+        else:
+            # Faulty scenarios replay per-(edge, round) decisions, which is
+            # inherently per-transfer Python; the vector layer still wins by
+            # skipping per-vertex dispatch and Message objects.
+            nodes = self.index.nodes
+            done = np.empty(count, dtype=np.int64)
+            for i in range(count):
+                edge = (nodes[int(senders[i])], nodes[int(receivers[i])])
+                done[i] = self._transfer_done(
+                    edge, int(edge_ids[i]), round_index, int(words[i])
+                )
+            original = np.arange(count)
+        bucket_order = np.argsort(done, kind="stable")
+        done_sorted = done[bucket_order]
+        boundaries = np.flatnonzero(
+            np.r_[True, done_sorted[1:] != done_sorted[:-1]]
+        )
+        boundaries = np.append(boundaries, count)
+        for k in range(len(boundaries) - 1):
+            lo, hi = int(boundaries[k]), int(boundaries[k + 1])
+            rows = original[bucket_order[lo:hi]]
+            self._array_buckets[int(done_sorted[lo])].append(
+                (senders[rows], receivers[rows], values[rows])
+            )
+        self.pending_messages += count
+
+    def deliver_batch(
+        self, round_index: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+        """Array form of :meth:`deliver`: (senders, receivers, values, words).
+
+        Must be called once per executed round, in increasing round order,
+        after that round's :meth:`schedule_batch` calls.
+        """
+        self._level += self._level_diff.pop(round_index, 0)
+        chunks = self._array_buckets.pop(round_index, None)
+        if not chunks:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty, empty, self._level
+        if len(chunks) == 1:
+            senders, receivers, values = chunks[0]
+        else:
+            senders = np.concatenate([c[0] for c in chunks])
+            receivers = np.concatenate([c[1] for c in chunks])
+            values = np.concatenate([c[2] for c in chunks])
+        self.pending_messages -= int(senders.size)
+        return senders, receivers, values, self._level
 
     def deliver(self, round_index: int) -> tuple[list[Message], int]:
         """Messages completing in ``round_index`` and words crossed in it.

@@ -32,6 +32,7 @@ class ReferenceBackend(Backend):
         metrics: CongestMetrics | None = None,
         scenario: DeliveryScenario | None = None,
     ) -> SynchronousRun:
+        factory = self.resolve_factory(factory)
         # A clean scenario is the network's native behaviour; passing None
         # lets the delivery loop skip the per-edge scenario query entirely.
         if scenario is not None and scenario.is_clean:

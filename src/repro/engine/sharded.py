@@ -55,18 +55,26 @@ class _ShardState:
         # A factory may construct vertices already halted; they must not
         # count toward the parent's active total or a spurious round runs.
         self.active = [v for v in vertices if not self.algorithms[v].halted]
+        self.initial_halted = [v for v in vertices if self.algorithms[v].halted]
 
     def step(
         self, round_index: int, deliveries: list[Message]
-    ) -> tuple[list[Message], int]:
-        """Run one round for this shard; returns (outgoing, active_count)."""
+    ) -> tuple[list[Message], int, list[Hashable]]:
+        """Run one round; returns (outgoing, active_count, newly_halted).
+
+        ``newly_halted`` lets the parent keep a global halted set so it can
+        drop deliveries addressed to halted vertices before they ever cross
+        a pipe (the same rule every backend applies).
+        """
         for message in deliveries:
             self.inboxes[message.receiver].append(message)
         outgoing: list[Message] = []
         still_active: list[Hashable] = []
+        newly_halted: list[Hashable] = []
         for vertex in self.active:
             algorithm = self.algorithms[vertex]
             if algorithm.halted:
+                newly_halted.append(vertex)
                 continue
             sent = algorithm.on_round(round_index, self.inboxes[vertex])
             self.inboxes[vertex] = []
@@ -81,8 +89,10 @@ class _ShardState:
             outgoing.extend(sent)
             if not algorithm.halted:
                 still_active.append(vertex)
+            else:
+                newly_halted.append(vertex)
         self.active = still_active
-        return outgoing, len(still_active)
+        return outgoing, len(still_active), newly_halted
 
     def finish(self) -> tuple[dict[Hashable, object], bool]:
         outputs = {v: alg.output for v, alg in self.algorithms.items()}
@@ -94,7 +104,7 @@ def _shard_worker(conn, vertices, factory, neighbor_map, n) -> None:
     """Worker-process loop: step the shard once per parent request."""
     try:
         state = _ShardState(vertices, factory, neighbor_map, n)
-        conn.send(("ready", len(state.active)))
+        conn.send(("ready", len(state.active), state.initial_halted))
         while True:
             request = conn.recv()
             if request[0] == _ROUND:
@@ -118,6 +128,7 @@ class _InlineShard:
     def __init__(self, vertices, factory, neighbor_map, n):
         self.state = _ShardState(vertices, factory, neighbor_map, n)
         self.initial_active = len(self.state.active)
+        self.initial_halted = self.state.initial_halted
 
     def step(self, round_index, deliveries):
         return self.state.step(round_index, deliveries)
@@ -142,7 +153,7 @@ class _ProcessShard:
         )
         self._process.start()
         child_conn.close()
-        self.initial_active = self._expect("ready")[0]
+        self.initial_active, self.initial_halted = self._expect("ready")
 
     def _expect(self, kind: str):
         try:
@@ -184,7 +195,14 @@ class ShardedBackend(Backend):
     def _resolve_workers(self, n: int) -> int:
         workers = self.num_workers
         if workers is None:
-            workers = min(4, os.cpu_count() or 1)
+            # The cores this process may actually run on: cgroup/taskset
+            # affinity masks, not the host's total core count — so a
+            # container pinned to 2 of 64 cores forks 2 workers, and an
+            # unrestricted 8-core host genuinely shards 8 ways.
+            try:
+                workers = len(os.sched_getaffinity(0))
+            except (AttributeError, OSError):  # pragma: no cover - non-Linux
+                workers = os.cpu_count() or 1
         return max(1, min(workers, n))
 
     def run(
@@ -197,6 +215,7 @@ class ShardedBackend(Backend):
         metrics: CongestMetrics | None = None,
         scenario: DeliveryScenario | None = None,
     ) -> SynchronousRun:
+        factory = self.resolve_factory(factory)
         if graph.number_of_nodes() == 0:
             raise ValueError("cannot build a CONGEST network over an empty graph")
         metrics = metrics if metrics is not None else CongestMetrics()
@@ -237,6 +256,12 @@ class ShardedBackend(Backend):
                 for v in part
             }
             total_active = sum(shard.initial_active for shard in shards)
+            # Global halted set, fed by per-shard reports: the parent drops
+            # deliveries to halted vertices at routing time, matching the
+            # other backends and keeping dead traffic off the pipes.
+            halted_vertices: set = set()
+            for shard in shards:
+                halted_vertices.update(shard.initial_halted)
             next_deliveries: list[list[Message]] = [[] for _ in shards]
             words_cache: dict[int, tuple[object, int]] = {}
 
@@ -257,13 +282,14 @@ class ShardedBackend(Backend):
                 outgoing: list[Message] = []
                 for shard_id, shard in enumerate(shards):
                     if isinstance(shard, _ProcessShard):
-                        sent, active = shard._expect("stepped")
+                        sent, active, newly_halted = shard._expect("stepped")
                     else:
-                        sent, active = shard.step(
+                        sent, active, newly_halted = shard.step(
                             round_index, next_deliveries[shard_id]
                         )
                     outgoing.extend(sent)
                     total_active += active
+                    halted_vertices.update(newly_halted)
                 next_deliveries = [[] for _ in shards]
 
                 for message in outgoing:
@@ -276,8 +302,14 @@ class ShardedBackend(Backend):
                         message, round_index, payload_words(message, n, words_cache)
                     )
                 delivered, words_crossed = scheduler.deliver(round_index)
+                dropped = 0
                 for message in delivered:
+                    if message.receiver in halted_vertices:
+                        dropped += 1
+                        continue
                     next_deliveries[owner[message.receiver]].append(message)
+                if dropped:
+                    metrics.add_dropped(dropped, phase=phase)
                 metrics.add_rounds(1, phase=phase)
                 metrics.add_messages(len(delivered), phase=phase, words=words_crossed)
 

@@ -1,0 +1,391 @@
+"""Vectorized per-vertex layer: one ``on_round`` call steps *all* vertices.
+
+PR 1/2 made delivery fast (the numpy :class:`~repro.engine.delivery.WordScheduler`),
+which leaves the Python per-vertex ``on_round`` loop as the dominant cost of
+the fast backends.  For array-friendly primitives — broadcast, BFS trees,
+flooding — the per-vertex code is the same few arithmetic operations at every
+vertex, so it can run once over numpy arrays instead of ``n`` times over
+Python objects.
+
+A :class:`VectorAlgorithm` is the whole-network counterpart of
+:class:`~repro.congest.vertex.VertexAlgorithm`: the engine constructs **one**
+instance per run (not one per vertex), hands it a :class:`VectorTopology`
+(CSR adjacency over dense vertex ids), and calls
+``on_round(round_index, inbox)`` once per round with the round's deliveries
+as dense ``senders`` / ``receivers`` / ``values`` arrays.  The algorithm
+returns a :class:`VectorSends` batch (dense sender / receiver / payload-word
+arrays), which the engine validates in bulk and feeds straight into the
+existing :class:`~repro.engine.delivery.WordScheduler` — so bandwidth
+semantics, word accounting, and delivery scenarios are byte-identical to the
+per-vertex backends.
+
+Every :class:`VectorAlgorithm` subclass declares a ``per_vertex`` twin — the
+equivalent :class:`~repro.congest.vertex.VertexAlgorithm` factory — so the
+same class can be handed to *any* backend: the vectorized backend takes the
+array fast path, while the reference and sharded backends transparently run
+the twin per vertex (see :meth:`repro.engine.backend.Backend.resolve_factory`).
+The equivalence suite (``tests/test_vector_layer.py``) proves both paths
+agree on outputs, rounds, and word totals under every delivery scenario.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Hashable
+
+import networkx as nx
+import numpy as np
+
+from repro.congest.metrics import CongestMetrics
+from repro.congest.network import SynchronousRun
+from repro.congest.vertex import VertexFactory
+from repro.engine.delivery import GraphIndex, WordScheduler
+from repro.engine.scenarios import DeliveryScenario, resolve_scenario
+
+
+class VectorTopology:
+    """Dense-array view of the communication graph for vector algorithms.
+
+    Attributes:
+        index: the underlying :class:`~repro.engine.delivery.GraphIndex`
+            (shared with the scheduler, so edge ids agree).
+        n: number of vertices.
+        nodes: vertex identifiers in dense-id order.
+        degrees: ``int64[n]`` — degree of each vertex (self-loops count once,
+            matching ``graph.neighbors``).
+        indptr / targets: CSR adjacency over dense ids; the neighbours of
+            dense vertex ``i`` are ``targets[indptr[i]:indptr[i+1]]``.
+        node_values: ``int64[n]`` of the vertex identifiers when every
+            identifier is a Python int (the common case for workload
+            graphs), else ``None``.  Algorithms that compare identifiers
+            (flooding, BFS parent selection) require it.
+    """
+
+    def __init__(self, graph: nx.Graph, index: GraphIndex | None = None):
+        self.index = index if index is not None else GraphIndex(graph)
+        n = self.n = self.index.n
+        self.nodes = self.index.nodes
+        node_index = self.index.index
+        edge_ids = self.index.edge_ids
+        # CSR adjacency, built with fromiter (C-driven loops) — the setup
+        # cost is part of every vector run, so it must stay well under the
+        # per-vertex instantiation cost it replaces.
+        adjacency = graph.adj
+        self.degrees = np.fromiter(
+            (len(adjacency[v]) for v in self.nodes), dtype=np.int64, count=n
+        )
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(self.degrees, out=indptr[1:])
+        total = int(indptr[n])
+        self.indptr = indptr
+        self.targets = np.fromiter(
+            (node_index[u] for v in self.nodes for u in adjacency[v]),
+            dtype=np.int64,
+            count=total,
+        )
+        self.csr_senders = np.repeat(np.arange(n, dtype=np.int64), self.degrees)
+        if all(type(v) is int for v in self.nodes):
+            self.node_values: np.ndarray | None = np.asarray(
+                self.nodes, dtype=np.int64
+            )
+        else:
+            self.node_values = None
+        # Sorted directed-edge keys (sender_id * n + receiver_id) mapping to
+        # scheduler edge ids: the bulk adjacency test and edge-id lookup for
+        # arbitrary VectorSends batches.
+        keys = np.fromiter(
+            (node_index[u] * n + node_index[v] for (u, v) in edge_ids),
+            dtype=np.int64,
+            count=len(edge_ids),
+        )
+        ids = np.fromiter(edge_ids.values(), dtype=np.int64, count=len(edge_ids))
+        order = np.argsort(keys)
+        self._edge_keys = keys[order]
+        self._edge_key_ids = ids[order]
+        # One scheduler edge id per CSR slot (sender -> target), resolved in
+        # bulk so broadcast sends need no per-round lookups at all.
+        slot_keys = self.csr_senders * np.int64(n) + self.targets
+        self.csr_edge_ids = self._edge_key_ids[
+            np.searchsorted(self._edge_keys, slot_keys)
+        ]
+
+    def id_of(self, vertex: Hashable) -> int:
+        """Dense id of a vertex identifier."""
+        return self.index.index[vertex]
+
+    def require_node_values(self) -> np.ndarray:
+        """The int64 identifier array; raises when ids are not plain ints."""
+        if self.node_values is None:
+            raise TypeError(
+                "this vector algorithm compares vertex identifiers and "
+                "requires integer vertex ids; got non-int node labels"
+            )
+        return self.node_values
+
+    def edge_id_lookup(self, senders: np.ndarray, receivers: np.ndarray) -> np.ndarray:
+        """Directed-edge ids for (sender, receiver) pairs; raises on non-edges."""
+        if self._edge_keys.size == 0:
+            bad = 0
+        else:
+            keys = senders * np.int64(self.n) + receivers
+            positions = np.searchsorted(self._edge_keys, keys)
+            positions = np.minimum(positions, self._edge_keys.size - 1)
+            valid = self._edge_keys[positions] == keys
+            if valid.all():
+                return self._edge_key_ids[positions]
+            bad = int(np.flatnonzero(~valid)[0])
+        raise ValueError(
+            f"vertex {self.nodes[int(senders[bad])]!r} attempted to send to "
+            f"non-neighbour {self.nodes[int(receivers[bad])]!r}"
+        )
+
+    def sends_to_all_neighbors(
+        self,
+        vertex_ids: np.ndarray | None,
+        values: np.ndarray,
+        words: int,
+    ) -> "VectorSends":
+        """One send per incident edge of the given vertices (dense ids).
+
+        ``vertex_ids`` of ``None`` means every vertex (the broadcast round-0
+        case, served from precomputed arrays).  ``values`` is a full-length
+        per-vertex array; each outgoing send carries its sender's value.
+        ``words`` is the uniform word cost of each send.
+        """
+        if vertex_ids is None:
+            senders = self.csr_senders
+            receivers = self.targets
+            edge_ids = self.csr_edge_ids
+        else:
+            counts = self.degrees[vertex_ids]
+            total = int(counts.sum())
+            senders = np.repeat(vertex_ids, counts)
+            # Gather the CSR rows of each sender: global slot positions are
+            # the sender's row start plus the within-row offset.
+            row_ends = np.cumsum(counts)
+            offsets = np.arange(total, dtype=np.int64) - np.repeat(
+                row_ends - counts, counts
+            )
+            slots = np.repeat(self.indptr[vertex_ids], counts) + offsets
+            receivers = self.targets[slots]
+            edge_ids = self.csr_edge_ids[slots]
+        return VectorSends(
+            senders=senders,
+            receivers=receivers,
+            values=values[senders],
+            words=np.full(senders.size, words, dtype=np.int64),
+            edge_ids=edge_ids,
+        )
+
+
+@dataclass
+class VectorInbox:
+    """One round's deliveries to all vertices, as dense arrays.
+
+    Attributes:
+        senders / receivers: dense vertex ids, one row per delivered message.
+        values: the int64 payload word each message carried.
+    """
+
+    senders: np.ndarray
+    receivers: np.ndarray
+    values: np.ndarray
+
+    @classmethod
+    def empty(cls) -> "VectorInbox":
+        e = np.empty(0, dtype=np.int64)
+        return cls(senders=e, receivers=e, values=e)
+
+    @property
+    def size(self) -> int:
+        return int(self.senders.size)
+
+    def count_per_receiver(self, n: int) -> np.ndarray:
+        """Messages delivered to each vertex this round (``int64[n]``)."""
+        return np.bincount(self.receivers, minlength=n)
+
+
+@dataclass
+class VectorSends:
+    """One round's outgoing traffic from all vertices, as dense arrays.
+
+    Attributes:
+        senders / receivers: dense vertex ids, one row per message.
+        values: int64 payload word carried by each message (delivered back
+            verbatim in the receiver's :class:`VectorInbox`).
+        words: per-message CONGEST word cost — what the bandwidth layer
+            charges and fragments, exactly like the per-vertex twin's
+            payload measured by ``words_for_payload``.
+        edge_ids: optional scheduler edge ids, filled in by
+            :meth:`VectorTopology.sends_to_all_neighbors`; when absent the
+            engine resolves and validates adjacency in bulk.  When present
+            it must be one id per send (enforced) and is trusted to match
+            ``(senders, receivers)`` — only the topology helpers should
+            fill it in.
+    """
+
+    senders: np.ndarray
+    receivers: np.ndarray
+    values: np.ndarray
+    words: np.ndarray
+    edge_ids: np.ndarray | None = None
+
+    @property
+    def count(self) -> int:
+        return int(self.senders.size)
+
+
+class VectorAlgorithm(ABC):
+    """Whole-network algorithm stepped once per round on numpy arrays.
+
+    Subclasses implement :meth:`on_round` and typically override
+    :meth:`outputs`.  The contract mirrors the per-vertex layer exactly:
+
+    * vertices whose ``halted`` flag is set must not send (the engine
+      validates against the halted set as of the *start* of the round, so
+      halt-and-send in the same round is legal, as per-vertex code can do);
+    * deliveries addressed to vertices that were halted by the end of the
+      round are dropped before the next inbox (all backends share this
+      rule);
+    * state transitions must not depend on within-round inbox ordering —
+      the CONGEST model gives no such guarantee.
+
+    Attributes:
+        topology: the :class:`VectorTopology` of the run.
+        halted: ``bool[n]`` — per-vertex local-termination flags, owned by
+            the algorithm.
+        per_vertex: class attribute naming the equivalent per-vertex
+            :class:`~repro.congest.vertex.VertexAlgorithm` factory; lets the
+            reference and sharded backends run the same class unvectorized.
+    """
+
+    per_vertex: VertexFactory | None = None
+
+    def __init__(self, topology: VectorTopology):
+        self.topology = topology
+        self.halted = np.zeros(topology.n, dtype=bool)
+
+    @abstractmethod
+    def on_round(self, round_index: int, inbox: VectorInbox) -> VectorSends | None:
+        """Step every vertex once; return this round's outgoing traffic."""
+
+    def outputs(self) -> dict[Hashable, object]:
+        """Per-vertex outputs keyed by vertex identifier (default: ``None``)."""
+        return {v: None for v in self.topology.nodes}
+
+
+def is_vector_algorithm(factory: object) -> bool:
+    """Whether ``factory`` is a :class:`VectorAlgorithm` subclass."""
+    return isinstance(factory, type) and issubclass(factory, VectorAlgorithm)
+
+
+def as_vertex_factory(algorithm: type[VectorAlgorithm]) -> VertexFactory:
+    """The adapter shim: a vector class's per-vertex twin, validated."""
+    twin = algorithm.per_vertex
+    if twin is None:
+        raise TypeError(
+            f"{algorithm.__name__} declares no per_vertex twin; it can only "
+            "run on the vectorized backend"
+        )
+    return twin
+
+
+def run_vector_algorithm(
+    graph: nx.Graph,
+    algorithm: type[VectorAlgorithm],
+    *,
+    max_rounds: int = 10_000,
+    phase: str = "simulated",
+    metrics: CongestMetrics | None = None,
+    scenario: DeliveryScenario | None = None,
+) -> SynchronousRun:
+    """Drive a :class:`VectorAlgorithm` with batched validation and delivery.
+
+    This is the vectorized backend's fast path: no per-vertex dispatch, no
+    :class:`~repro.congest.message.Message` objects — dense arrays go into
+    the :class:`~repro.engine.delivery.WordScheduler` and dense arrays come
+    back out, with identical round/word/output semantics to running the
+    class's ``per_vertex`` twin on any backend.
+    """
+    if graph.number_of_nodes() == 0:
+        raise ValueError("cannot build a CONGEST network over an empty graph")
+    metrics = metrics if metrics is not None else CongestMetrics()
+    index = GraphIndex(graph)
+    topology = VectorTopology(graph, index)
+    algo = algorithm(topology)
+    if algo.halted.shape != (topology.n,):
+        raise ValueError("VectorAlgorithm.halted must be a length-n bool array")
+    scheduler = WordScheduler(index, resolve_scenario(scenario), horizon=max_rounds)
+    n = topology.n
+    inbox = VectorInbox.empty()
+
+    rounds_executed = 0
+    for round_index in range(max_rounds):
+        if bool(algo.halted.all()) and not scheduler.has_pending:
+            break
+        rounds_executed += 1
+        halted_before = algo.halted.copy()
+        sends = algo.on_round(round_index, inbox)
+        if sends is not None and sends.count:
+            senders = np.asarray(sends.senders, dtype=np.int64)
+            receivers = np.asarray(sends.receivers, dtype=np.int64)
+            values = np.asarray(sends.values, dtype=np.int64)
+            words = np.asarray(sends.words, dtype=np.int64)
+            if not (senders.size == receivers.size == values.size == words.size):
+                raise ValueError(
+                    "VectorSends arrays must all have the same length"
+                )
+            if senders.size and (
+                int(senders.min()) < 0 or int(senders.max()) >= n
+                or int(receivers.min()) < 0 or int(receivers.max()) >= n
+            ):
+                raise ValueError("VectorSends vertex ids out of range")
+            halted_senders = halted_before[senders]
+            if halted_senders.any():
+                offender = int(senders[int(np.flatnonzero(halted_senders)[0])])
+                raise ValueError(
+                    f"halted vertex {topology.nodes[offender]!r} attempted to send"
+                )
+            if (words < 1).any():
+                raise ValueError("every send must cost at least one word")
+            edge_ids = sends.edge_ids
+            if edge_ids is None:
+                edge_ids = topology.edge_id_lookup(senders, receivers)
+            elif int(edge_ids.size) != int(senders.size):
+                # edge_ids sizes the scheduler batch; a short array would
+                # silently drop the trailing sends instead of erroring.
+                raise ValueError(
+                    "VectorSends.edge_ids must have one entry per send"
+                )
+            scheduler.schedule_batch(
+                senders, receivers, edge_ids, words, values, round_index
+            )
+        d_senders, d_receivers, d_values, words_crossed = scheduler.deliver_batch(
+            round_index
+        )
+        delivered_count = int(d_senders.size)
+        if delivered_count:
+            keep = ~algo.halted[d_receivers]
+            dropped = delivered_count - int(keep.sum())
+            if dropped:
+                # Same rule as every per-vertex backend: deliveries to
+                # halted vertices are dropped, never queued.
+                metrics.add_dropped(dropped, phase=phase)
+                d_senders = d_senders[keep]
+                d_receivers = d_receivers[keep]
+                d_values = d_values[keep]
+            inbox = VectorInbox(d_senders, d_receivers, d_values)
+        else:
+            inbox = VectorInbox.empty()
+        metrics.add_rounds(1, phase=phase)
+        metrics.add_messages(delivered_count, phase=phase, words=words_crossed)
+
+    outputs = algo.outputs()
+    halted = bool(algo.halted.all())
+    return SynchronousRun(
+        rounds=rounds_executed,
+        metrics=metrics,
+        outputs=outputs,
+        halted=halted,
+    )

@@ -24,10 +24,19 @@ from repro.congest.network import SynchronousRun
 from repro.engine.backend import Backend, VertexFactory
 from repro.engine.delivery import GraphIndex, WordScheduler, payload_words
 from repro.engine.scenarios import DeliveryScenario, resolve_scenario
+from repro.engine.vector import is_vector_algorithm, run_vector_algorithm
 
 
 class VectorizedBackend(Backend):
-    """Single-process backend with batch (fragment-free) delivery."""
+    """Single-process backend with batch (fragment-free) delivery.
+
+    When handed a :class:`~repro.engine.vector.VectorAlgorithm` subclass it
+    skips per-vertex dispatch entirely: one ``on_round`` call steps all
+    vertices on numpy arrays and the outgoing sender/receiver/word arrays go
+    straight into the :class:`~repro.engine.delivery.WordScheduler` (see
+    :func:`repro.engine.vector.run_vector_algorithm`).  Ordinary per-vertex
+    factories run on the batch-delivery loop below.
+    """
 
     name = "vectorized"
 
@@ -41,13 +50,22 @@ class VectorizedBackend(Backend):
         metrics: CongestMetrics | None = None,
         scenario: DeliveryScenario | None = None,
     ) -> SynchronousRun:
+        if is_vector_algorithm(factory):
+            return run_vector_algorithm(
+                graph,
+                factory,
+                max_rounds=max_rounds,
+                phase=phase,
+                metrics=metrics,
+                scenario=scenario,
+            )
         if graph.number_of_nodes() == 0:
             raise ValueError("cannot build a CONGEST network over an empty graph")
         metrics = metrics if metrics is not None else CongestMetrics()
         index = GraphIndex(graph)
         n = index.n
         algorithms = {
-            v: factory(v, graph.neighbors(v), n) for v in index.nodes
+            v: factory(v, tuple(graph.neighbors(v)), n) for v in index.nodes
         }
         inboxes: dict = {v: [] for v in index.nodes}
         scheduler = WordScheduler(
@@ -82,8 +100,16 @@ class VectorizedBackend(Backend):
                         message, round_index, payload_words(message, n, words_cache)
                     )
             delivered, words_crossed = scheduler.deliver(round_index)
+            dropped = 0
             for message in delivered:
+                # Same rule as the reference simulator: a halted receiver
+                # never consumes its inbox, so queueing would leak memory.
+                if algorithms[message.receiver].halted:
+                    dropped += 1
+                    continue
                 inboxes[message.receiver].append(message)
+            if dropped:
+                metrics.add_dropped(dropped, phase=phase)
             metrics.add_rounds(1, phase=phase)
             metrics.add_messages(len(delivered), phase=phase, words=words_crossed)
 

@@ -26,12 +26,20 @@ class TestCongestMetrics:
         metrics.add_messages(4)
         assert metrics.words == 4
 
+    def test_add_dropped_accumulates(self):
+        metrics = CongestMetrics()
+        metrics.add_dropped(3, phase="x")
+        metrics.add_dropped(2)
+        assert metrics.dropped == 5
+
     def test_negative_values_rejected(self):
         metrics = CongestMetrics()
         with pytest.raises(ValueError):
             metrics.add_rounds(-1)
         with pytest.raises(ValueError):
             metrics.add_messages(-2)
+        with pytest.raises(ValueError):
+            metrics.add_dropped(-3)
 
     def test_merge(self):
         left = CongestMetrics()
@@ -39,15 +47,22 @@ class TestCongestMetrics:
         right = CongestMetrics()
         right.add_rounds(3, phase="p")
         right.add_messages(7, phase="q")
+        right.add_dropped(4)
         left.merge(right)
         assert left.rounds == 5
         assert left.phase_rounds["p"] == 5
         assert left.messages == 7
+        assert left.dropped == 4
 
     def test_snapshot_and_reset(self):
         metrics = CongestMetrics()
         metrics.add_rounds(1)
         metrics.add_messages(2)
-        assert metrics.snapshot() == {"rounds": 1, "messages": 2, "words": 2}
+        metrics.add_dropped(1)
+        assert metrics.snapshot() == {
+            "rounds": 1, "messages": 2, "words": 2, "dropped": 1,
+        }
         metrics.reset()
-        assert metrics.snapshot() == {"rounds": 0, "messages": 0, "words": 0}
+        assert metrics.snapshot() == {
+            "rounds": 0, "messages": 0, "words": 0, "dropped": 0,
+        }

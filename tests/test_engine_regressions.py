@@ -1,6 +1,6 @@
 """Engine regression tests: sharded inline fallback, scenario determinism.
 
-Two regressions the equivalence matrix does not pin down directly:
+Regressions the equivalence matrix does not pin down directly:
 
 * the sharded backend silently falls back to in-process shards when only
   one worker is requested or the configured start method is unavailable on
@@ -9,15 +9,22 @@ Two regressions the equivalence matrix does not pin down directly:
 * delivery scenarios are pure functions of ``(seed, edge, round)``, so a
   faulty run repeated with the same seed must reproduce the identical
   execution on every backend — this is what makes fault experiments
-  reproducible at all.
+  reproducible at all;
+* the bugfix sweep of the vector-layer PR: every backend must materialise
+  neighbour tuples before calling a vertex factory, drop (and count)
+  deliveries addressed to halted vertices, and size the default sharded
+  worker pool from the scheduler affinity mask rather than the host's raw
+  core count.
 """
 
 import multiprocessing
+import os
 
 import networkx as nx
 import pytest
 
 from common import broadcast_workload
+from repro.congest.vertex import VertexAlgorithm
 from repro.engine import (
     AdversarialDelayScenario,
     LinkDropScenario,
@@ -143,6 +150,114 @@ def test_distributed_listing_deterministic_under_link_drop():
     assert [e.rounds for e in runs[0].executions] == [
         e.rounds for e in runs[1].executions
     ]
+
+
+# ---------------------------------------------------------------------------
+# Bugfix sweep: neighbour materialisation, halted-inbox drops, worker sizing
+# ---------------------------------------------------------------------------
+
+
+class TwiceIteratingFactory(VertexAlgorithm):
+    """Consumes the neighbours iterable twice during construction.
+
+    With a lazy generator the second pass silently reads empty; a backend
+    that materialises a tuple gives both passes the full adjacency.  The
+    output exposes both counts, so a regression shows up as an outputs
+    mismatch rather than a silent wrong answer.
+    """
+
+    def __init__(self, vertex, neighbors, n):
+        first_pass = sum(1 for _ in neighbors)
+        second_pass = list(neighbors)
+        super().__init__(vertex, second_pass, n)
+        self._counts = (first_pass, len(second_pass))
+
+    def on_round(self, round_index, inbox):
+        self.output = self._counts
+        self.halt()
+        return []
+
+
+@pytest.mark.parametrize("backend", ["reference", "vectorized", "sharded"])
+def test_factories_may_iterate_neighbors_twice(backend):
+    graph = erdos_renyi(18, 5.0, seed=3)
+    run = run_algorithm(graph, TwiceIteratingFactory, backend=backend, max_rounds=10)
+    for vertex in graph.nodes:
+        degree = len(list(graph.neighbors(vertex)))
+        assert run.outputs[vertex] == (degree, degree), (
+            f"{backend} passed a single-use neighbours iterable to the factory"
+        )
+
+
+class ChattyNeighbour(VertexAlgorithm):
+    """Vertex 0 halts immediately; vertex 1 keeps messaging it anyway."""
+
+    rounds_of_chatter = 5
+
+    def on_round(self, round_index, inbox):
+        if self.vertex == 0:
+            self.output = "done"
+            self.halt()
+            return []
+        if round_index < self.rounds_of_chatter:
+            return [self.send(0, "ping", round_index)]
+        self.halt()
+        return []
+
+
+@pytest.mark.parametrize("backend", ["reference", "vectorized", "sharded"])
+def test_deliveries_to_halted_vertices_are_dropped(backend):
+    """Messages to halted vertices are discarded — and counted — everywhere.
+
+    Before the fix every backend appended them to inboxes that no one would
+    ever read again: unbounded memory on long runs with stragglers.
+    """
+    graph = nx.path_graph(2)
+    run = run_algorithm(graph, ChattyNeighbour, backend=backend, max_rounds=100)
+    assert run.halted
+    # All five pings complete after vertex 0 halted in round 0.
+    assert run.metrics.dropped == ChattyNeighbour.rounds_of_chatter
+    # The pings still consumed bandwidth: dropped messages are delivered
+    # (and charged) before being discarded.
+    assert run.metrics.messages >= ChattyNeighbour.rounds_of_chatter
+
+
+def test_dropped_accounting_is_identical_across_backends():
+    graph = erdos_renyi(16, 4.0, seed=12)
+    from repro.baselines.naive import bfs_tree_workload
+
+    # BFS halts each vertex the moment it joins the tree, so every duplicate
+    # announcement lands on a halted vertex — a natural drop-heavy workload.
+    factory = bfs_tree_workload(0)
+    reference = run_algorithm(graph, factory, backend="reference", max_rounds=500)
+    assert reference.metrics.dropped > 0
+    for backend in ["vectorized", "sharded"]:
+        run = run_algorithm(graph, factory, backend=backend, max_rounds=500)
+        assert run.metrics.dropped == reference.metrics.dropped
+        assert run.metrics.messages == reference.metrics.messages
+        assert run.outputs == reference.outputs
+
+
+def test_sharded_worker_default_respects_affinity_mask(monkeypatch):
+    """The default pool size is the affinity mask, not min(4, cpu_count)."""
+    backend = ShardedBackend()
+    monkeypatch.setattr(os, "sched_getaffinity", lambda pid: set(range(8)),
+                        raising=False)
+    monkeypatch.setattr(os, "cpu_count", lambda: 64)
+    assert backend._resolve_workers(1000) == 8
+    # Still capped by the vertex count...
+    assert backend._resolve_workers(3) == 3
+    # ...and an explicit worker count always wins.
+    assert ShardedBackend(num_workers=2)._resolve_workers(1000) == 2
+
+
+def test_sharded_worker_default_falls_back_to_cpu_count(monkeypatch):
+    def unavailable(pid):
+        raise AttributeError("sched_getaffinity unavailable on this platform")
+
+    monkeypatch.setattr(os, "sched_getaffinity", unavailable, raising=False)
+    monkeypatch.setattr(os, "cpu_count", lambda: 6)
+    assert ShardedBackend()._resolve_workers(1000) == 6
 
 
 def test_adversarial_delay_same_seed_reproduces_identical_runs():
