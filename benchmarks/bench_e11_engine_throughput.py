@@ -25,12 +25,10 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-import time
 from pathlib import Path
 
-from common import broadcast_workload
-from repro.engine import run_algorithm
-from repro.graphs import erdos_renyi
+import common  # noqa: F401  (registers the 'broadcast' workload)
+from repro.experiments import ExperimentSpec, Session
 
 
 def run_config(
@@ -41,40 +39,37 @@ def run_config(
     seed: int = 11,
     max_rounds: int = 100_000,
 ) -> dict:
-    """Time every backend on one configuration; assert they agree."""
-    graph = erdos_renyi(n, avg_degree, seed=seed)
-    factory = broadcast_workload(payload_words)
+    """Time every backend on one configuration; assert they agree.
+
+    A thin wrapper over the declarative experiment API: one spec, one
+    backend grid, with the cross-backend agreement check done by the
+    :class:`~repro.experiments.ResultSet` itself.
+    """
+    spec = ExperimentSpec(
+        name="e11-broadcast",
+        graph="erdos-renyi",
+        graph_params={"n": n, "avg_degree": avg_degree, "seed": seed},
+        workload="broadcast",
+        workload_params={"payload_words": payload_words},
+        max_rounds=max_rounds,
+    )
+    results = Session().grid(spec, backends=backends)
+    results.check_backend_agreement()
     row: dict = {
         "n": n,
-        "edges": graph.number_of_edges(),
+        "edges": results.results[0].edges,
         "avg_degree": avg_degree,
         "payload_words": payload_words,
-        "backends": {},
+        "backends": {
+            result.backend: {
+                "seconds": round(min(result.seconds), 6),
+                "rounds": result.rounds,
+                "messages": result.messages,
+                "words": result.words,
+            }
+            for result in results
+        },
     }
-    reference_key = None
-    for backend in backends:
-        start = time.perf_counter()
-        run = run_algorithm(graph, factory, backend=backend, max_rounds=max_rounds)
-        elapsed = time.perf_counter() - start
-        key = (
-            run.rounds,
-            run.metrics.messages,
-            run.metrics.words,
-            run.halted,
-            sorted(run.outputs.items()),
-        )
-        if reference_key is None:
-            reference_key = key
-        elif key != reference_key:
-            raise AssertionError(
-                f"backend {backend!r} diverged from {backends[0]!r} on n={n}"
-            )
-        row["backends"][backend] = {
-            "seconds": round(elapsed, 6),
-            "rounds": run.rounds,
-            "messages": run.metrics.messages,
-            "words": run.metrics.words,
-        }
     if "reference" in row["backends"] and "vectorized" in row["backends"]:
         ref = row["backends"]["reference"]["seconds"]
         vec = row["backends"]["vectorized"]["seconds"]

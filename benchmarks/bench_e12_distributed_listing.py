@@ -34,8 +34,13 @@ from pathlib import Path
 
 from common import listing_workload_graph
 from repro.engine import LinkDropScenario
+from repro.experiments import Session
 from repro.graphs.cliques import enumerate_cliques
 from repro.listing import list_triangles_distributed, validate_distributed_listing
+
+# One session per benchmark process: every per-cluster engine execution of
+# every run below routes through its execute() substrate.
+SESSION = Session(name="e12-distributed-listing")
 
 
 def run_config(
@@ -48,7 +53,9 @@ def run_config(
     graph = listing_workload_graph(n, seed=seed)
     truth = enumerate_cliques(graph, 3)
     start = time.perf_counter()
-    result = list_triangles_distributed(graph, backend=backend, scenario=scenario)
+    result = list_triangles_distributed(
+        graph, backend=backend, scenario=scenario, session=SESSION
+    )
     elapsed = time.perf_counter() - start
     report = validate_distributed_listing(graph, result)
     if result.cliques != truth:

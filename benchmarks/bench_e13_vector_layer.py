@@ -37,8 +37,12 @@ from common import (
     vector_bfs_workload,
     vector_broadcast_workload,
 )
-from repro.engine import run_algorithm
+from repro.experiments import Session
 from repro.graphs import erdos_renyi
+
+# Every execution below routes through one session — the declarative API's
+# imperative substrate (run_algorithm is now a shim over exactly this).
+SESSION = Session(name="e13-vector-layer")
 
 SCENARIOS = ["clean", "link-drop", "adversarial-delay"]
 ALL_BACKENDS = ["reference", "vectorized", "sharded"]
@@ -95,13 +99,13 @@ def run_speedup_config(
     }
     for name, vector_class in vector_workloads(payload_words):
         scalar_seconds, scalar_run = timed(
-            lambda: run_algorithm(
+            lambda: SESSION.execute(
                 graph, vector_class.per_vertex, backend="vectorized",
                 max_rounds=max_rounds,
             )
         )
         vector_seconds, vector_run = timed(
-            lambda: run_algorithm(
+            lambda: SESSION.execute(
                 graph, vector_class, backend="vectorized", max_rounds=max_rounds
             )
         )
@@ -114,7 +118,7 @@ def run_speedup_config(
         if heavy_backends and name == "broadcast":
             for backend in ["reference", "sharded"]:
                 candidate = signature(
-                    run_algorithm(
+                    SESSION.execute(
                         graph, vector_class, backend=backend,
                         max_rounds=max_rounds,
                     )
@@ -148,14 +152,14 @@ def run_scenario_equivalence(
         per_scenario = {}
         for scenario in SCENARIOS:
             truth = signature(
-                run_algorithm(
+                SESSION.execute(
                     graph, vector_class.per_vertex, backend="reference",
                     scenario=scenario, max_rounds=max_rounds,
                 )
             )
             for backend in ALL_BACKENDS:
                 candidate = signature(
-                    run_algorithm(
+                    SESSION.execute(
                         graph, vector_class, backend=backend,
                         scenario=scenario, max_rounds=max_rounds,
                     )

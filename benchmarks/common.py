@@ -26,6 +26,7 @@ import numpy as np
 from repro.baselines.naive import BFSTreeLayers, FloodMinimum, bfs_tree_workload
 from repro.congest.vertex import VertexAlgorithm
 from repro.engine.vector import VectorAlgorithm, VectorInbox, VectorSends
+from repro.experiments import register_graph_source, register_workload
 from repro.graphs import erdos_renyi, planted_cliques, ring_of_cliques
 
 
@@ -235,14 +236,36 @@ def engine_workload_graphs() -> list[tuple[str, nx.Graph]]:
     ]
 
 
+@register_graph_source("listing-workload")
 def listing_workload_graph(n: int, seed: int = 23) -> nx.Graph:
     """The standard distributed-listing workload: sparse + planted K5s.
 
     Used by the E12 benchmark (``n = 1000`` acceptance run, ``n = 200``
-    CI smoke) and by the scale tests, so every consumer measures the same
-    graph family.
+    CI smoke), the E14 scenario grid, and the scale tests, so every
+    consumer measures the same graph family.  Registered as the
+    ``listing-workload`` graph source, so experiment specs (and their JSON
+    form) can name it directly.
     """
     return planted_cliques(
         n, clique_size=5, num_cliques=max(4, n // 25),
         background_avg_degree=4.0, seed=seed,
     )
+
+
+# -- experiment-registry entries --------------------------------------------
+#
+# The benchmark workloads register themselves with the open workload
+# registry, so E11/E13/E14 (and any notebook) can select them by name in an
+# ExperimentSpec; nothing benchmark-specific leaks into the library.
+
+
+@register_workload("broadcast")
+def broadcast_experiment_workload(payload_words: int = 256):
+    """The E11 delivery-bound workload as a registered experiment workload."""
+    return broadcast_workload(payload_words)
+
+
+@register_workload("vector-broadcast")
+def vector_broadcast_experiment_workload(payload_words: int = 256):
+    """The whole-network numpy twin of ``broadcast`` (E13's fast path)."""
+    return vector_broadcast_workload(payload_words)

@@ -16,6 +16,10 @@ The public API re-exports the main entry points:
 * :func:`repro.run_on_engine` -- run any per-vertex CONGEST algorithm on
   the pluggable execution engine (:mod:`repro.engine`): reference,
   vectorized, or sharded backend, under pluggable delivery scenarios.
+* :class:`repro.ExperimentSpec` / :class:`repro.Session` -- the declarative
+  experiment layer (:mod:`repro.experiments`): JSON-round-tripping
+  experiment specs over open registries, executed as single runs, seed
+  sweeps, or backend x scenario grids with typed results.
 * :class:`repro.VectorAlgorithm` -- the vectorized per-vertex layer: one
   ``on_round`` call steps all vertices on numpy arrays, eliminating Python
   per-vertex dispatch for array-friendly workloads while the same class
@@ -43,11 +47,16 @@ from repro.listing import (
 from repro.listing.validation import CoverageReport, DistributedValidationReport
 from repro.engine import VectorAlgorithm
 from repro.engine import run_algorithm as run_on_engine
+from repro.experiments import ExperimentSpec, ResultSet, RunResult, Session
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "VectorAlgorithm",
+    "ExperimentSpec",
+    "Session",
+    "RunResult",
+    "ResultSet",
     "ListingResult",
     "TriangleListing",
     "CliqueListing",

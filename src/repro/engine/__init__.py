@@ -5,6 +5,9 @@ The engine separates *what a distributed algorithm does* (the per-vertex
 are executed*:
 
 * :mod:`repro.engine.backend` -- the :class:`Backend` strategy interface.
+* :mod:`repro.engine.registry` -- open backend / scenario registries:
+  ``@register_backend`` and ``@register_scenario`` make new implementations
+  selectable by name everywhere without editing library internals.
 * :mod:`repro.engine.reference` -- wraps the faithful edge-by-edge
   :class:`~repro.congest.network.CongestNetwork`; the semantic ground truth.
 * :mod:`repro.engine.vectorized` -- batch delivery over numpy edge
@@ -15,11 +18,14 @@ are executed*:
   backend while still running per-vertex (via its ``per_vertex`` twin) on
   the reference and sharded backends.
 * :mod:`repro.engine.sharded` -- vertex-partitioned execution across forked
-  worker processes with per-round barriers.
-* :mod:`repro.engine.scenarios` -- pluggable delivery models: clean
-  synchronous, per-round link drops, adversarial bounded delay.
-* :mod:`repro.engine.runner` -- :func:`run_algorithm`, the single entry
-  point that selects backends and scenarios.
+  worker processes with per-round barriers and batched pipe traffic.
+* :mod:`repro.engine.scenarios` -- pluggable, composable delivery models:
+  clean synchronous, per-round link drops, adversarial bounded delay,
+  correlated bursty outages, per-edge heterogeneous bandwidth, and the
+  :class:`ComposedScenario` overlay/sequential combinator.
+* :mod:`repro.engine.runner` -- :func:`run_algorithm`, the single-execution
+  compatibility shim; declarative sweeps and grids live one layer up in
+  :mod:`repro.experiments`.
 
 All backends are semantically equivalent: same outputs, same round counts,
 same message/word accounting, under every scenario.
@@ -27,17 +33,27 @@ same message/word accounting, under every scenario.
 
 from repro.engine.backend import Backend
 from repro.engine.reference import ReferenceBackend
+from repro.engine.registry import (
+    available_backends,
+    available_scenarios,
+    backend_registry,
+    register_backend,
+    register_scenario,
+    scenario_registry,
+)
 from repro.engine.runner import (
     BACKENDS,
-    available_backends,
     resolve_backend,
     run_algorithm,
 )
 from repro.engine.scenarios import (
     SCENARIOS,
     AdversarialDelayScenario,
+    BurstyFaultScenario,
     CleanSynchronous,
+    ComposedScenario,
     DeliveryScenario,
+    HeterogeneousBandwidthScenario,
     LinkDropScenario,
     resolve_scenario,
 )
@@ -67,12 +83,20 @@ __all__ = [
     "VectorizedBackend",
     "ShardedBackend",
     "available_backends",
+    "available_scenarios",
+    "backend_registry",
+    "scenario_registry",
+    "register_backend",
+    "register_scenario",
     "resolve_backend",
     "run_algorithm",
     "DeliveryScenario",
     "CleanSynchronous",
     "LinkDropScenario",
     "AdversarialDelayScenario",
+    "BurstyFaultScenario",
+    "HeterogeneousBandwidthScenario",
+    "ComposedScenario",
     "SCENARIOS",
     "resolve_scenario",
 ]

@@ -14,9 +14,11 @@ import networkx as nx
 from repro.congest.metrics import CongestMetrics
 from repro.congest.network import CongestNetwork, SynchronousRun
 from repro.engine.backend import Backend, VertexFactory
+from repro.engine.registry import register_backend
 from repro.engine.scenarios import DeliveryScenario
 
 
+@register_backend("reference")
 class ReferenceBackend(Backend):
     """Drives :class:`CongestNetwork` — faithful, single-threaded, O(edges)/round."""
 

@@ -10,7 +10,18 @@ Usage::
                         scenario=LinkDropScenario(0.05))
 
 ``backend`` accepts a registry name, a :class:`~repro.engine.backend.Backend`
-instance (to configure e.g. worker counts), or a backend class.
+instance (to configure e.g. worker counts), or a backend class.  Backends
+and scenarios live in the open registries of :mod:`repro.engine.registry`:
+``@register_backend`` / ``@register_scenario`` make new implementations
+selectable by name here without touching this module.
+
+.. note:: **Migration.** :func:`run_algorithm` is kept as a thin
+   compatibility shim over the declarative experiment layer
+   (:mod:`repro.experiments`).  New code that runs more than a single ad-hoc
+   execution — seed sweeps, repeats, backend x scenario grids, JSON
+   reporting — should build an :class:`~repro.experiments.ExperimentSpec`
+   and execute it through a :class:`~repro.experiments.Session` instead;
+   ``run_algorithm(...)`` is exactly ``Session().execute(...)``.
 """
 
 from __future__ import annotations
@@ -20,25 +31,25 @@ import networkx as nx
 from repro.congest.metrics import CongestMetrics
 from repro.congest.network import SynchronousRun
 from repro.engine.backend import Backend, VertexFactory
+from repro.engine.registry import backend_registry
 from repro.engine.reference import ReferenceBackend
-from repro.engine.scenarios import DeliveryScenario, resolve_scenario
-from repro.engine.sharded import ShardedBackend
-from repro.engine.vectorized import VectorizedBackend
+from repro.engine.scenarios import DeliveryScenario
+from repro.engine.sharded import ShardedBackend  # noqa: F401  (registers itself)
+from repro.engine.vectorized import VectorizedBackend  # noqa: F401  (registers itself)
 
-BACKENDS: dict[str, type[Backend]] = {
-    ReferenceBackend.name: ReferenceBackend,
-    VectorizedBackend.name: VectorizedBackend,
-    ShardedBackend.name: ShardedBackend,
-}
-
-
-def available_backends() -> list[str]:
-    """Registry names of the selectable backends."""
-    return sorted(BACKENDS)
+# Legacy alias: the live name -> class mapping of the open registry.  Code
+# that iterated the old closed dict keeps working and now sees every
+# @register_backend registration as well.
+BACKENDS: dict[str, type[Backend]] = backend_registry.entries
 
 
 def resolve_backend(backend: Backend | type[Backend] | str | None) -> Backend:
-    """Accept a backend instance, class, registry name, or ``None``."""
+    """Accept a backend instance, class, registry name, or ``None``.
+
+    Unknown names raise a :class:`ValueError` enumerating the sorted
+    registry names; register new backends with
+    :func:`repro.engine.registry.register_backend`.
+    """
     if backend is None:
         return ReferenceBackend()
     if isinstance(backend, Backend):
@@ -46,12 +57,7 @@ def resolve_backend(backend: Backend | type[Backend] | str | None) -> Backend:
     if isinstance(backend, type) and issubclass(backend, Backend):
         return backend()
     if isinstance(backend, str):
-        try:
-            return BACKENDS[backend]()
-        except KeyError:
-            raise ValueError(
-                f"unknown backend {backend!r}; known: {available_backends()}"
-            ) from None
+        return backend_registry.get(backend)()
     raise TypeError(f"cannot interpret {backend!r} as an execution backend")
 
 
@@ -67,28 +73,36 @@ def run_algorithm(
 ) -> SynchronousRun:
     """Run ``factory`` on every vertex of ``graph`` on the selected backend.
 
+    This is a compatibility shim over
+    :meth:`repro.experiments.Session.execute` — see the module docstring for
+    the migration note.  The argument surface is unchanged from earlier
+    releases.
+
     Args:
         graph: undirected communication topology.
         factory: called as ``factory(vertex, neighbors, n)`` per vertex.
-        backend: backend name (``reference`` / ``vectorized`` / ``sharded``),
-            instance, or class.
+        backend: backend registry name (see
+            :func:`~repro.engine.registry.available_backends`), instance,
+            or class.
         max_rounds: safety cap on synchronous rounds.
         phase: metrics phase to charge rounds and messages to.
         metrics: counter object to update (a fresh one when ``None``).
         scenario: delivery model — a :class:`DeliveryScenario`, a scenario
-            registry name (``clean`` / ``link-drop`` / ``adversarial-delay``),
-            or ``None`` for the clean synchronous model.
+            registry name (see
+            :func:`~repro.engine.registry.available_scenarios`), or
+            ``None`` for the clean synchronous model.
 
     Returns:
         A :class:`~repro.congest.network.SynchronousRun`.
     """
-    engine = resolve_backend(backend)
-    resolved_scenario = None if scenario is None else resolve_scenario(scenario)
-    return engine.run(
+    from repro.experiments.session import Session
+
+    return Session().execute(
         graph,
         factory,
+        backend=backend,
         max_rounds=max_rounds,
         phase=phase,
         metrics=metrics,
-        scenario=resolved_scenario,
+        scenario=scenario,
     )

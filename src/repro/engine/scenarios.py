@@ -17,8 +17,15 @@ when computing delivery rounds in batch, and both see the same world.
 from __future__ import annotations
 
 import hashlib
+import math
 from abc import ABC
-from typing import Hashable
+from typing import Hashable, Iterable, Sequence
+
+from repro.engine.registry import (
+    available_scenarios,
+    register_scenario,
+    scenario_registry,
+)
 
 Edge = tuple[Hashable, Hashable]
 
@@ -43,9 +50,13 @@ class DeliveryScenario(ABC):
         is_clean: ``True`` when ``transmits`` is constantly ``True``; lets
             vectorized schedulers skip the per-round decision replay and
             compute delivery rounds arithmetically.
+        name: registry key when the class is registered via
+            :func:`repro.engine.registry.register_scenario`; registered
+            classes are selectable by name wherever a scenario is accepted.
     """
 
     is_clean: bool = False
+    name: str = ""
 
     def transmits(self, edge: Edge, round_index: int) -> bool:
         """Whether ``edge`` moves its head-of-queue word in ``round_index``."""
@@ -80,7 +91,12 @@ class DeliveryScenario(ABC):
     def describe(self) -> str:
         return type(self).__name__
 
+    def __and__(self, other: "DeliveryScenario") -> "ComposedScenario":
+        """Overlay composition: ``a & b`` transmits iff both ``a`` and ``b`` do."""
+        return ComposedScenario.overlay(self, other)
 
+
+@register_scenario("clean")
 class CleanSynchronous(DeliveryScenario):
     """The standard fault-free synchronous CONGEST model."""
 
@@ -90,6 +106,7 @@ class CleanSynchronous(DeliveryScenario):
         return True
 
 
+@register_scenario("link-drop")
 class LinkDropScenario(DeliveryScenario):
     """Each directed edge independently drops its word with fixed probability.
 
@@ -117,6 +134,7 @@ class LinkDropScenario(DeliveryScenario):
         return f"LinkDropScenario(q={self.drop_probability}, seed={self.seed})"
 
 
+@register_scenario("adversarial-delay")
 class AdversarialDelayScenario(DeliveryScenario):
     """A deterministic adversary stalls each edge one round in every period.
 
@@ -151,24 +169,269 @@ class AdversarialDelayScenario(DeliveryScenario):
         return f"AdversarialDelayScenario(period={self.stall_period}, seed={self.seed})"
 
 
+@register_scenario("bursty")
+class BurstyFaultScenario(DeliveryScenario):
+    """Correlated multi-round edge outages (bursty faults).
+
+    The smooth-faults :class:`LinkDropScenario` loses each round's word
+    independently; real links fail in *bursts* — once an edge goes down it
+    stays down for several consecutive rounds.  This is the correlated-fault
+    regime of the robust congested-clique model (arXiv:2508.08740), where
+    retransmission alone no longer amortises: a burst stalls an entire
+    pipelined transfer, so algorithms relying on lockstep pipelining see a
+    super-linear round stretch.
+
+    Time is divided into windows of ``period`` rounds.  Per (edge, window) a
+    seeded hash decides whether a burst occurs (probability
+    ``burst_probability``) and at which offset; during a burst the edge
+    transmits nothing for ``burst_length`` consecutive rounds.  Requiring
+    ``burst_length < period`` keeps every edge live infinitely often, so
+    transfers always complete eventually.  Decisions are pure functions of
+    ``(edge, round)``, reproducible across all backends.
+    """
+
+    def __init__(
+        self,
+        burst_probability: float = 0.25,
+        burst_length: int = 3,
+        period: int = 12,
+        seed: int = 0,
+    ):
+        if not 0.0 <= burst_probability < 1.0:
+            raise ValueError(
+                f"burst probability must be in [0, 1); got {burst_probability}"
+            )
+        if burst_length < 1:
+            raise ValueError(f"burst length must be >= 1; got {burst_length}")
+        if period <= burst_length:
+            raise ValueError(
+                f"period must exceed burst length (got period={period}, "
+                f"burst_length={burst_length}); otherwise an edge can be "
+                f"down forever and transfers never complete"
+            )
+        self.burst_probability = burst_probability
+        self.burst_length = burst_length
+        self.period = period
+        self.seed = seed
+
+    def transmits(self, edge: Edge, round_index: int) -> bool:
+        window, offset = divmod(round_index, self.period)
+        draw = _stable_hash("bursty", self.seed, edge, window) / _HASH_DENOM
+        if draw >= self.burst_probability:
+            return True
+        start = _stable_hash("bursty-start", self.seed, edge, window) % (
+            self.period - self.burst_length + 1
+        )
+        return not (start <= offset < start + self.burst_length)
+
+    def describe(self) -> str:
+        return (
+            f"BurstyFaultScenario(p={self.burst_probability}, "
+            f"len={self.burst_length}, period={self.period}, seed={self.seed})"
+        )
+
+
+@register_scenario("heterogeneous-bandwidth")
+class HeterogeneousBandwidthScenario(DeliveryScenario):
+    """Per-edge word capacity: slow links carry less than one word per round.
+
+    The CONGEST model gives every edge the same one-word-per-round
+    bandwidth; the robust congested-clique model (arXiv:2508.08740) relaxes
+    this to heterogeneous per-edge capacities.  Here each undirected edge is
+    assigned a rate ``c`` in ``(0, 1]`` words per round (both directions
+    share it): an edge of rate ``c`` transmits in round ``r`` exactly when
+    ``floor((r+1)*c) > floor(r*c)`` — a deterministic token schedule that
+    crosses ``floor(r*c)`` words in any prefix of ``r`` rounds, so a
+    ``w``-word transfer takes ``~w/c`` rounds.  The per-edge schedule feeds
+    through :meth:`DeliveryScenario.transfer_schedule` into the
+    :class:`~repro.engine.delivery.WordScheduler`, so the batch backends
+    replay the identical slow-link behaviour word-for-word.
+
+    Capacities come from ``edge_capacities`` (explicit undirected-edge
+    mapping, either orientation) when given, otherwise from a seeded hash
+    choosing uniformly from ``capacities``.
+    """
+
+    def __init__(
+        self,
+        capacities: Sequence[float] = (1.0, 0.5, 0.25),
+        seed: int = 0,
+        edge_capacities: dict[Edge, float] | None = None,
+    ):
+        capacities = tuple(capacities)
+        if not capacities:
+            raise ValueError("capacities must be non-empty")
+        for rate in list(capacities) + list((edge_capacities or {}).values()):
+            if not 0.0 < rate <= 1.0:
+                raise ValueError(f"edge capacity must be in (0, 1]; got {rate}")
+        self.capacities = capacities
+        self.seed = seed
+        self.edge_capacities = dict(edge_capacities or {})
+        self._rates: dict[Edge, float] = {}
+
+    def capacity(self, edge: Edge) -> float:
+        """Words-per-round rate of ``edge`` (direction-independent)."""
+        rate = self._rates.get(edge)
+        if rate is None:
+            u, v = edge
+            rate = self.edge_capacities.get((u, v), self.edge_capacities.get((v, u)))
+            if rate is None:
+                # Hash the orientation-independent edge so both directions
+                # of an undirected link share one rate, like a real cable.
+                a, b = sorted((u, v), key=repr)
+                rate = self.capacities[
+                    _stable_hash("hetero-bw", self.seed, a, b)
+                    % len(self.capacities)
+                ]
+            self._rates[edge] = rate
+        return rate
+
+    def transmits(self, edge: Edge, round_index: int) -> bool:
+        rate = self.capacity(edge)
+        if rate >= 1.0:
+            return True
+        return math.floor((round_index + 1) * rate) > math.floor(round_index * rate)
+
+    def describe(self) -> str:
+        return (
+            f"HeterogeneousBandwidthScenario(capacities={self.capacities}, "
+            f"seed={self.seed})"
+        )
+
+
+class ComposedScenario(DeliveryScenario):
+    """Combine scenarios without subclassing: overlay or sequential.
+
+    * **Overlay** (:meth:`overlay`, or the ``&`` operator): a word crosses a
+      round only if *every* part would transmit it — independent fault
+      processes stack, e.g. bursty outages on top of smooth link drops on
+      top of heterogeneous bandwidth.
+    * **Sequential** (:meth:`sequential`): a timeline of phases — part
+      ``i`` governs delivery for its ``durations[i]`` rounds, then hands
+      over to the next; the last part runs forever.  Expresses regime
+      changes (a clean network that degrades mid-run, a transient storm).
+
+    Parts may be scenario instances or registry names.  Decisions remain
+    pure functions of ``(edge, round)``, so composition preserves the
+    cross-backend reproducibility guarantee of the leaf scenarios.
+    """
+
+    def __init__(
+        self,
+        parts: Iterable[DeliveryScenario | str],
+        mode: str = "overlay",
+        durations: Sequence[int] | None = None,
+    ):
+        self.parts: tuple[DeliveryScenario, ...] = tuple(
+            resolve_scenario(part) for part in parts
+        )
+        if not self.parts:
+            raise ValueError("a composed scenario needs at least one part")
+        if mode not in ("overlay", "sequential"):
+            raise ValueError(
+                f"composition mode must be 'overlay' or 'sequential'; got {mode!r}"
+            )
+        self.mode = mode
+        if mode == "sequential":
+            durations = tuple(durations or ())
+            if len(durations) != len(self.parts) - 1:
+                raise ValueError(
+                    f"sequential composition of {len(self.parts)} parts needs "
+                    f"{len(self.parts) - 1} durations (the last part runs "
+                    f"forever); got {len(durations)}"
+                )
+            if any(d < 1 for d in durations):
+                raise ValueError(f"phase durations must be >= 1; got {durations}")
+            boundaries = []
+            total = 0
+            for duration in durations:
+                total += duration
+                boundaries.append(total)
+            self.durations = durations
+            self._boundaries = tuple(boundaries)
+        else:
+            if durations is not None:
+                raise ValueError("durations only apply to sequential composition")
+            self.durations = ()
+            self._boundaries = ()
+        self.is_clean = all(part.is_clean for part in self.parts)
+
+    @classmethod
+    def overlay(cls, *parts: DeliveryScenario | str) -> "ComposedScenario":
+        """All parts must transmit for a word to cross (faults stack)."""
+        return cls(parts, mode="overlay")
+
+    @classmethod
+    def sequential(
+        cls, *phases: tuple[DeliveryScenario | str, int | None]
+    ) -> "ComposedScenario":
+        """Time-sliced phases of ``(scenario, duration)``; last duration ignored.
+
+        ``ComposedScenario.sequential(("clean", 100), ("bursty", None))``
+        runs clean delivery for rounds 0-99, bursty faults afterwards.
+        """
+        if not phases:
+            raise ValueError("a composed scenario needs at least one part")
+        parts = [scenario for scenario, _ in phases]
+        durations = [duration for _, duration in phases[:-1]]
+        if any(duration is None for duration in durations):
+            raise ValueError("only the last phase may leave its duration as None")
+        return cls(parts, mode="sequential", durations=durations)
+
+    def _active(self, round_index: int) -> DeliveryScenario:
+        for i, boundary in enumerate(self._boundaries):
+            if round_index < boundary:
+                return self.parts[i]
+        return self.parts[-1]
+
+    def transmits(self, edge: Edge, round_index: int) -> bool:
+        if self.mode == "overlay":
+            return all(part.transmits(edge, round_index) for part in self.parts)
+        return self._active(round_index).transmits(edge, round_index)
+
+    def describe(self) -> str:
+        if self.mode == "overlay":
+            inner = " & ".join(part.describe() for part in self.parts)
+        else:
+            pieces = [
+                f"{part.describe()}x{duration}"
+                for part, duration in zip(self.parts, self.durations)
+            ]
+            pieces.append(self.parts[-1].describe())
+            inner = " -> ".join(pieces)
+        return f"Composed[{self.mode}]({inner})"
+
+
 def resolve_scenario(scenario: DeliveryScenario | str | None) -> DeliveryScenario:
-    """Accept a scenario object, a registry name, or ``None`` (clean)."""
+    """Accept a scenario object, a registry name, or ``None`` (clean).
+
+    Unknown names raise a :class:`ValueError` enumerating the sorted
+    registry names, so typos are self-diagnosing; register new scenarios
+    with :func:`repro.engine.registry.register_scenario`.
+    """
     if scenario is None:
         return CleanSynchronous()
     if isinstance(scenario, DeliveryScenario):
         return scenario
     if isinstance(scenario, str):
-        try:
-            return SCENARIOS[scenario]()
-        except KeyError:
-            raise ValueError(
-                f"unknown scenario {scenario!r}; known: {sorted(SCENARIOS)}"
-            ) from None
+        return scenario_registry.get(scenario)()
     raise TypeError(f"cannot interpret {scenario!r} as a delivery scenario")
 
 
-SCENARIOS: dict[str, type[DeliveryScenario]] = {
-    "clean": CleanSynchronous,
-    "link-drop": LinkDropScenario,
-    "adversarial-delay": AdversarialDelayScenario,
-}
+# Legacy alias: the live name -> class mapping of the open registry.  Code
+# that iterated the old closed dict keeps working and now sees every
+# @register_scenario registration as well.
+SCENARIOS: dict[str, type[DeliveryScenario]] = scenario_registry.entries
+
+__all__ = [
+    "AdversarialDelayScenario",
+    "BurstyFaultScenario",
+    "CleanSynchronous",
+    "ComposedScenario",
+    "DeliveryScenario",
+    "HeterogeneousBandwidthScenario",
+    "LinkDropScenario",
+    "SCENARIOS",
+    "available_scenarios",
+    "resolve_scenario",
+]

@@ -12,8 +12,11 @@ no worker can run ahead of the round the parent is driving.
 
 Workers are started with the ``fork`` start method so that arbitrary vertex
 factories (including classes defined in test modules or notebooks) need not
-be picklable; only :class:`~repro.congest.message.Message` objects cross
-process boundaries.  Where ``fork`` is unavailable (or for ``num_workers=1``)
+be picklable; message traffic crosses process boundaries as one columnar
+batch per worker per round (four parallel tuples of sender / receiver /
+tag / payload — see :func:`_pack_messages`) rather than as lists of
+:class:`~repro.congest.message.Message` objects, which keeps the per-round
+pickle cost flat.  Where ``fork`` is unavailable (or for ``num_workers=1``)
 the shards run inline in-process with identical semantics, so results never
 depend on the host platform.
 """
@@ -32,10 +35,46 @@ from repro.congest.network import SynchronousRun
 from repro.congest.vertex import VertexAlgorithm
 from repro.engine.backend import Backend, VertexFactory
 from repro.engine.delivery import GraphIndex, WordScheduler, payload_words
+from repro.engine.registry import register_backend
 from repro.engine.scenarios import DeliveryScenario, resolve_scenario
 
 _ROUND = "round"
 _FINISH = "finish"
+
+# An empty columnar batch (see _pack_messages); shared so quiet rounds cost
+# one memoised pickle record per pipe crossing.
+_EMPTY_BATCH = ((), (), (), ())
+
+
+def _pack_messages(messages: list[Message]) -> tuple[tuple, ...]:
+    """Columnar batch for one pipe crossing: four parallel tuples.
+
+    The pipes carry one batched payload per worker per round instead of a
+    list of :class:`Message` dataclass instances: pickling ``N`` instances
+    spends per-object class/state records and a reconstruction call each,
+    while four flat tuples cost one container record apiece and let pickle's
+    memo share the repeated senders, tags, and (for broadcast-style
+    workloads) identical payload objects across the whole round.
+    :func:`_unpack_messages` rebuilds equal ``Message`` objects on the
+    receiving side, so shard code above this layer never sees the batching.
+    """
+    if not messages:
+        return _EMPTY_BATCH
+    return (
+        tuple(m.sender for m in messages),
+        tuple(m.receiver for m in messages),
+        tuple(m.tag for m in messages),
+        tuple(m.payload for m in messages),
+    )
+
+
+def _unpack_messages(batch: tuple[tuple, ...]) -> list[Message]:
+    """Inverse of :func:`_pack_messages`."""
+    senders, receivers, tags, payloads = batch
+    return [
+        Message(sender, receiver, tag, payload)
+        for sender, receiver, tag, payload in zip(senders, receivers, tags, payloads)
+    ]
 
 
 class _ShardState:
@@ -108,8 +147,13 @@ def _shard_worker(conn, vertices, factory, neighbor_map, n) -> None:
         while True:
             request = conn.recv()
             if request[0] == _ROUND:
-                _, round_index, deliveries = request
-                conn.send(("stepped",) + state.step(round_index, deliveries))
+                _, round_index, batch = request
+                outgoing, active, newly_halted = state.step(
+                    round_index, _unpack_messages(batch)
+                )
+                conn.send(
+                    ("stepped", _pack_messages(outgoing), active, newly_halted)
+                )
             elif request[0] == _FINISH:
                 conn.send(("outputs",) + state.finish())
                 return
@@ -168,6 +212,15 @@ class _ProcessShard:
             raise RuntimeError(f"unexpected shard reply {reply[0]!r}")
         return reply[1:]
 
+    def begin_round(self, round_index: int, deliveries: list[Message]) -> None:
+        """Send the round's deliveries as one columnar batch (no reply yet)."""
+        self._conn.send((_ROUND, round_index, _pack_messages(deliveries)))
+
+    def collect_round(self) -> tuple[list[Message], int, list[Hashable]]:
+        """Receive and unpack the round's (outgoing, active, newly_halted)."""
+        batch, active, newly_halted = self._expect("stepped")
+        return _unpack_messages(batch), active, newly_halted
+
     def finish(self):
         self._conn.send((_FINISH,))
         outputs, halted = self._expect("outputs")
@@ -183,6 +236,7 @@ class _ProcessShard:
                 self._process.join(timeout=5)
 
 
+@register_backend("sharded")
 class ShardedBackend(Backend):
     """Multi-core backend: per-shard workers, per-round barrier sync."""
 
@@ -275,14 +329,12 @@ class ShardedBackend(Backend):
                 # shard, then wait for every shard's response.
                 for shard_id, shard in enumerate(shards):
                     if isinstance(shard, _ProcessShard):
-                        shard._conn.send(
-                            (_ROUND, round_index, next_deliveries[shard_id])
-                        )
+                        shard.begin_round(round_index, next_deliveries[shard_id])
                 total_active = 0
                 outgoing: list[Message] = []
                 for shard_id, shard in enumerate(shards):
                     if isinstance(shard, _ProcessShard):
-                        sent, active, newly_halted = shard._expect("stepped")
+                        sent, active, newly_halted = shard.collect_round()
                     else:
                         sent, active, newly_halted = shard.step(
                             round_index, next_deliveries[shard_id]

@@ -23,10 +23,12 @@ from repro.congest.metrics import CongestMetrics
 from repro.congest.network import SynchronousRun
 from repro.engine.backend import Backend, VertexFactory
 from repro.engine.delivery import GraphIndex, WordScheduler, payload_words
+from repro.engine.registry import register_backend
 from repro.engine.scenarios import DeliveryScenario, resolve_scenario
 from repro.engine.vector import is_vector_algorithm, run_vector_algorithm
 
 
+@register_backend("vectorized")
 class VectorizedBackend(Backend):
     """Single-process backend with batch (fragment-free) delivery.
 

@@ -1,0 +1,407 @@
+"""Experiment sessions: execute specs, sweeps, and backend x scenario grids.
+
+A :class:`Session` is the one place experiment cells are executed: the
+single-run compatibility shim :func:`repro.engine.run_algorithm` delegates
+to :meth:`Session.execute`, the distributed listing driver routes its
+per-cluster executions through a session, and the benchmarks are thin
+wrappers over :meth:`Session.sweep` / :meth:`Session.grid`.
+
+Results are typed: every cell produces a :class:`RunResult` (metrics,
+round/word/dropped counts, wall-clock samples, output digest) and every
+sweep/grid a :class:`ResultSet`, whose :meth:`ResultSet.to_json` matches
+the committed ``BENCH_*.json`` shape (``{"experiment", "workload",
+"rows": [...]}``), whose :meth:`ResultSet.digest` is a deterministic
+fingerprint (wall-clock excluded) for reproducibility tests, and whose
+:meth:`ResultSet.check_backend_agreement` asserts the engine's semantic
+equivalence guarantee cell-by-cell.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Iterable, Sequence
+
+import networkx as nx
+import numpy as np
+
+from repro.congest.metrics import CongestMetrics
+from repro.congest.network import SynchronousRun
+from repro.engine.backend import Backend
+from repro.engine.runner import resolve_backend
+from repro.engine.scenarios import DeliveryScenario, resolve_scenario
+from repro.experiments.spec import ExperimentSpec
+
+
+def _canonical_repr(value: Any) -> str:
+    """A lossless textual form for digesting (``repr`` truncates big arrays).
+
+    numpy renders arrays beyond its print threshold with a ``...`` ellipsis,
+    so two arrays differing only in the elided middle would repr — and
+    digest — identically; containers recurse so nested arrays are covered.
+    """
+    if isinstance(value, np.ndarray):
+        return f"ndarray({value.shape},{value.dtype},{value.tobytes()!r})"
+    if isinstance(value, (list, tuple)):
+        inner = ",".join(_canonical_repr(item) for item in value)
+        return f"{type(value).__name__}[{inner}]"
+    if isinstance(value, (set, frozenset)):
+        inner = ",".join(sorted(_canonical_repr(item) for item in value))
+        return f"{type(value).__name__}[{inner}]"
+    if isinstance(value, dict):
+        inner = ",".join(
+            sorted(
+                f"{_canonical_repr(k)}:{_canonical_repr(v)}"
+                for k, v in value.items()
+            )
+        )
+        return f"dict[{inner}]"
+    return repr(value)
+
+
+def _digest_outputs(outputs: dict[Hashable, Any]) -> str:
+    """A stable fingerprint of per-vertex outputs (canonical-repr, sha256)."""
+    blob = repr(
+        sorted((repr(k), _canonical_repr(v)) for k, v in outputs.items())
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+@dataclass
+class RunResult:
+    """One executed experiment cell.
+
+    Attributes:
+        spec_name: ``name`` of the spec the cell came from.
+        workload: workload label (registry name when available).
+        backend: backend registry name the cell ran on.
+        scenario: ``describe()`` string of the concrete scenario instance.
+        scenario_name: scenario registry name when the cell was named.
+        seed: sweep seed of the cell.
+        n / edges: size of the workload graph.
+        rounds / messages / words / dropped: the run's metric totals.
+        halted: whether every vertex halted (vs. hitting ``max_rounds``).
+        seconds: wall-clock samples, one per repeat.
+        output_digest: sha256 fingerprint of the per-vertex outputs.
+        outputs: the raw outputs when the session keeps them (``None``
+            otherwise; grids over large graphs don't want them pinned).
+        cell_index: position of this cell's scenario on the grid's
+            scenario axis (0 outside grids); keeps cells distinct even
+            when two scenario instances share a ``describe()`` string.
+    """
+
+    spec_name: str
+    workload: str
+    backend: str
+    scenario: str
+    scenario_name: str | None
+    seed: int
+    n: int
+    edges: int
+    rounds: int
+    messages: int
+    words: int
+    dropped: int
+    halted: bool
+    seconds: tuple[float, ...]
+    output_digest: str
+    outputs: dict[Hashable, Any] | None = None
+    cell_index: int = 0
+
+    def signature(self) -> tuple:
+        """The deterministic facts a repeat / another backend must reproduce."""
+        return (
+            self.rounds,
+            self.messages,
+            self.words,
+            self.dropped,
+            self.halted,
+            self.output_digest,
+        )
+
+    def to_row(self) -> dict[str, Any]:
+        """A JSON-ready row in the ``BENCH_*.json`` style."""
+        return {
+            "n": self.n,
+            "edges": self.edges,
+            "workload": self.workload,
+            "backend": self.backend,
+            "scenario": self.scenario,
+            "scenario_name": self.scenario_name,
+            "seed": self.seed,
+            "rounds": self.rounds,
+            "messages": self.messages,
+            "words": self.words,
+            "dropped": self.dropped,
+            "halted": self.halted,
+            "seconds": [round(s, 6) for s in self.seconds],
+            "output_digest": self.output_digest,
+        }
+
+
+@dataclass
+class ResultSet:
+    """An ordered collection of :class:`RunResult` cells plus report helpers."""
+
+    experiment: str
+    workload: str
+    results: list[RunResult] = field(default_factory=list)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def to_json(self) -> dict[str, Any]:
+        """The ``BENCH_*.json`` shape: experiment, workload, one row per cell."""
+        return {
+            "experiment": self.experiment,
+            "workload": self.workload,
+            "rows": [result.to_row() for result in self.results],
+        }
+
+    def digest(self) -> str:
+        """Deterministic fingerprint of the whole set (wall clock excluded).
+
+        Two executions of the same spec (any machine, any wall-clock) must
+        produce the same digest — the seed-sweep determinism contract.
+        """
+        rows = []
+        for result in self.results:
+            row = result.to_row()
+            del row["seconds"]
+            rows.append(row)
+        blob = json.dumps(rows, sort_keys=True, default=repr)
+        return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+    def by_cell(self) -> dict[tuple[int, str, int], list[RunResult]]:
+        """Group results by (scenario cell, seed) across backends.
+
+        Cells are keyed by the scenario's position on the grid axis plus
+        its ``describe()`` string and the seed, so two grid entries naming
+        the same scenario with different parameters — even instances that
+        share a ``describe()`` — stay distinct cells.
+        """
+        cells: dict[tuple[int, str, int], list[RunResult]] = {}
+        for result in self.results:
+            key = (result.cell_index, result.scenario, result.seed)
+            cells.setdefault(key, []).append(result)
+        return cells
+
+    def check_backend_agreement(self) -> None:
+        """Assert every (scenario, seed) cell agrees across its backends.
+
+        This is the engine's semantic-equivalence guarantee, checked at the
+        result layer: identical outputs, rounds, messages, words, drops,
+        and halting on every backend of every cell.
+        """
+        for (_, scenario, seed), cell in self.by_cell().items():
+            baseline = cell[0]
+            for candidate in cell[1:]:
+                if candidate.signature() != baseline.signature():
+                    raise AssertionError(
+                        f"backend {candidate.backend!r} diverged from "
+                        f"{baseline.backend!r} on cell (scenario={scenario!r}, "
+                        f"seed={seed}): {candidate.signature()} != "
+                        f"{baseline.signature()}"
+                    )
+
+    def table(self) -> str:
+        """A fixed-width text table of the cells (benchmarks print this)."""
+        lines = [
+            f"{'workload':<14s} {'backend':<11s} {'scenario':<26s} {'seed':>4s} "
+            f"{'rounds':>7s} {'words':>9s} {'dropped':>7s} {'secs':>8s}"
+        ]
+        for result in self.results:
+            scenario = result.scenario_name or result.scenario
+            best = min(result.seconds) if result.seconds else 0.0
+            lines.append(
+                f"{result.workload:<14s} {result.backend:<11s} "
+                f"{scenario:<26s} {result.seed:>4d} {result.rounds:>7d} "
+                f"{result.words:>9d} {result.dropped:>7d} {best:>8.3f}"
+            )
+        return "\n".join(lines)
+
+
+class Session:
+    """Executes :class:`ExperimentSpec` cells against the engine.
+
+    Attributes:
+        name: label stamped onto the produced :class:`ResultSet`s.
+        keep_outputs: pin each cell's raw per-vertex outputs on its
+            :class:`RunResult` (digests are always recorded).
+        history: every :class:`RunResult` this session produced, in order.
+    """
+
+    def __init__(self, name: str = "session", keep_outputs: bool = False):
+        self.name = name
+        self.keep_outputs = keep_outputs
+        self.history: list[RunResult] = []
+
+    # -- the imperative core -------------------------------------------------
+
+    def execute(
+        self,
+        graph: nx.Graph,
+        factory: Any,
+        *,
+        backend: Backend | type[Backend] | str | None = "reference",
+        max_rounds: int = 10_000,
+        phase: str = "simulated",
+        metrics: CongestMetrics | None = None,
+        scenario: DeliveryScenario | str | None = None,
+    ) -> SynchronousRun:
+        """One engine execution; the substrate under :func:`run_algorithm`.
+
+        Accepts exactly the shim's surface (names, instances, classes) and
+        returns the raw :class:`SynchronousRun` — no result bookkeeping.
+        """
+        engine = resolve_backend(backend)
+        resolved = None if scenario is None else resolve_scenario(scenario)
+        return engine.run(
+            graph,
+            factory,
+            max_rounds=max_rounds,
+            phase=phase,
+            metrics=metrics,
+            scenario=resolved,
+        )
+
+    # -- declarative execution -----------------------------------------------
+
+    def _run_cell(
+        self,
+        spec: ExperimentSpec,
+        graph: nx.Graph,
+        *,
+        backend: Any,
+        scenario: Any,
+        seed: int,
+        cell_index: int = 0,
+    ) -> RunResult:
+        engine = spec._build_backend(backend)
+        concrete = spec._build_scenario(seed=seed, scenario=scenario)
+        kind = spec.workload_kind()
+        workload = spec.build_workload()
+
+        seconds: list[float] = []
+        run: SynchronousRun | None = None
+        signature: tuple | None = None
+        for _ in range(spec.repeats):
+            start = time.perf_counter()
+            if kind == "driver":
+                candidate = workload(
+                    graph,
+                    backend=engine,
+                    scenario=concrete,
+                    max_rounds=spec.max_rounds,
+                    session=self,
+                )
+            else:
+                candidate = engine.run(
+                    graph,
+                    workload,
+                    max_rounds=spec.max_rounds,
+                    phase=spec.name,
+                    scenario=concrete,
+                )
+            seconds.append(time.perf_counter() - start)
+            current = (
+                candidate.rounds, candidate.metrics.messages,
+                candidate.metrics.words, candidate.metrics.dropped,
+                candidate.halted, _digest_outputs(candidate.outputs),
+            )
+            if signature is not None and current != signature:
+                raise AssertionError(
+                    f"repeat of {spec.name!r} diverged (the engine is "
+                    f"deterministic; a workload with hidden global state "
+                    f"is not a valid experiment): {signature} != {current}"
+                )
+            run, signature = candidate, current
+
+        if isinstance(scenario, tuple) and len(scenario) == 2:
+            scenario_label = scenario[0]
+        elif isinstance(scenario, str):
+            scenario_label = scenario
+        else:
+            # A live instance (or None) has no registry name; by_cell and
+            # the reports fall back to the instance's describe() string.
+            scenario_label = None
+        result = RunResult(
+            spec_name=spec.name,
+            workload=(
+                spec.workload if isinstance(spec.workload, str)
+                else getattr(spec.workload, "__name__", "workload")
+            ),
+            backend=engine.name,
+            scenario=(
+                concrete.describe() if concrete is not None else "CleanSynchronous"
+            ),
+            scenario_name=scenario_label,
+            seed=seed,
+            n=graph.number_of_nodes(),
+            edges=graph.number_of_edges(),
+            rounds=run.rounds,
+            messages=run.metrics.messages,
+            words=run.metrics.words,
+            dropped=run.metrics.dropped,
+            halted=run.halted,
+            seconds=tuple(seconds),
+            output_digest=signature[-1],
+            outputs=dict(run.outputs) if self.keep_outputs else None,
+            cell_index=cell_index,
+        )
+        self.history.append(result)
+        return result
+
+    def run(self, spec: ExperimentSpec) -> RunResult:
+        """Execute the spec's single default cell (first seed)."""
+        graph = spec.build_graph()
+        return self._run_cell(
+            spec, graph,
+            backend=spec.backend, scenario=spec.scenario, seed=spec.seeds[0],
+        )
+
+    def sweep(self, spec: ExperimentSpec) -> ResultSet:
+        """Execute every seed of the spec on its configured backend/scenario."""
+        return self.grid(spec, backends=None, scenarios=None)
+
+    def grid(
+        self,
+        spec: ExperimentSpec,
+        backends: Sequence[Backend | type[Backend] | str | None] | None = None,
+        scenarios: Iterable[Any] | None = None,
+    ) -> ResultSet:
+        """Execute the full backend x scenario x seed grid of one spec.
+
+        ``backends`` / ``scenarios`` default to the spec's own single
+        backend / scenario; pass lists (registry names, ``(name, params)``
+        pairs, instances, or classes) to widen either axis.  The spec's
+        ``backend_params`` / ``scenario_params`` apply only to cells naming
+        the spec's own backend / scenario — other cells run their defaults
+        unless given explicit ``(name, params)``.  Note that a *live
+        scenario instance* carries its own randomness, so on a multi-seed
+        spec its cells repeat identical delivery decisions per seed (named
+        scenarios get the sweep seed injected; pinning ``seed`` in a
+        ``(name, params)`` pair on a multi-seed spec is rejected).  The
+        graph is built once and shared by every cell, so all cells see the
+        identical topology.
+        """
+        graph = spec.build_graph()
+        backends = list(backends) if backends is not None else [spec.backend]
+        scenarios = list(scenarios) if scenarios is not None else [spec.scenario]
+        results = ResultSet(experiment=spec.name, workload=str(spec.workload))
+        for cell_index, scenario in enumerate(scenarios):
+            for seed in spec.seeds:
+                for backend in backends:
+                    results.results.append(
+                        self._run_cell(
+                            spec, graph,
+                            backend=backend, scenario=scenario, seed=seed,
+                            cell_index=cell_index,
+                        )
+                    )
+        return results

@@ -1,0 +1,96 @@
+"""Built-in workloads for the experiment registries.
+
+Vertex workloads wrap the library's per-vertex algorithms; the *driver*
+workload wraps the full distributed listing recursion
+(:class:`~repro.listing.distributed.DistributedListingDriver`), which runs
+many engine executions per cell — one per cluster per recursion level —
+and reports the recursion's *measured* parallel round total as the cell's
+round count.  That is the workload the E14 scenario-grid benchmark sweeps:
+how listing round counts degrade across delivery scenarios.
+
+Benchmark-only workloads (the sized broadcast blob of E11/E13) register
+themselves in ``benchmarks/common.py`` with the same decorator — the whole
+point of the open registry is that workloads need not live in the library.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import networkx as nx
+
+from repro.congest.metrics import CongestMetrics
+from repro.congest.network import SynchronousRun
+from repro.experiments.spec import register_workload
+
+
+@register_workload("flood-min")
+def flood_min_workload():
+    """Every vertex learns the global minimum node value by flooding."""
+    from repro.baselines.naive import FloodMinimum
+
+    return FloodMinimum
+
+
+@register_workload("bfs-tree")
+def bfs_tree_workload(root: Any = 0):
+    """BFS layers + parent pointers from ``root``."""
+    from repro.baselines.naive import bfs_tree_workload as build
+
+    return build(root)
+
+
+@register_workload("neighborhood-exchange")
+def neighborhood_exchange_workload():
+    """The naive triangle baseline: full adjacency exchange, local listing."""
+    from repro.baselines.naive import NeighborhoodExchangeTriangles
+
+    return NeighborhoodExchangeTriangles
+
+
+@register_workload("distributed-listing", kind="driver")
+def distributed_listing_workload(p: int = 3, **driver_kwargs):
+    """The Theorem 32/36 recursion, executed on the engine (driver workload).
+
+    The returned runner executes the whole recursion against the cell's
+    backend and scenario, routing every per-cluster engine execution through
+    the calling session.  The cell's ``rounds`` is the recursion's measured
+    parallel round total (per-level maxima over clusters, the paper's
+    accounting), its outputs the listed cliques — so a backend grid over
+    this workload checks that every backend lists the identical cliques in
+    the identical number of measured rounds.
+    """
+    from repro.listing.distributed import DistributedListingDriver
+
+    def run(
+        graph: nx.Graph,
+        *,
+        backend,
+        scenario,
+        max_rounds: int,
+        session=None,
+    ) -> SynchronousRun:
+        driver = DistributedListingDriver(
+            p=p,
+            backend=backend,
+            scenario=scenario,
+            max_rounds_per_execution=max_rounds,
+            session=session,
+            **driver_kwargs,
+        )
+        result = driver.run(graph)
+        metrics = CongestMetrics()
+        metrics.add_rounds(result.measured_rounds, phase="distributed-listing")
+        metrics.add_messages(
+            result.measured_messages,
+            phase="distributed-listing",
+            words=result.measured_words,
+        )
+        return SynchronousRun(
+            rounds=result.measured_rounds,
+            metrics=metrics,
+            outputs={"cliques": tuple(sorted(result.cliques))},
+            halted=all(record.halted for record in result.executions),
+        )
+
+    return run

@@ -72,8 +72,9 @@ from repro.congest.message import Message
 from repro.congest.metrics import CongestMetrics
 from repro.congest.vertex import VertexAlgorithm
 from repro.engine.backend import Backend
-from repro.engine.runner import resolve_backend, run_algorithm
+from repro.engine.runner import resolve_backend
 from repro.engine.scenarios import DeliveryScenario, resolve_scenario
+from repro.experiments.session import Session
 from repro.graphs.cliques import Clique, cliques_in_edge_set
 from repro.listing.local import charge_exhaustive_pass, cliques_through_vertex
 from repro.listing.recursion import (
@@ -479,6 +480,8 @@ class DistributedListingDriver:
         max_rounds_per_execution: safety cap per engine execution; a
             protocol that fails to terminate within it raises.
         check_tree_constraints: validate partition trees (slow; tests).
+        session: the :class:`~repro.experiments.Session` every per-cluster
+            engine execution routes through (a private one when ``None``).
     """
 
     p: int = 3
@@ -489,9 +492,14 @@ class DistributedListingDriver:
     max_levels: int | None = None
     max_rounds_per_execution: int = 200_000
     check_tree_constraints: bool = False
+    session: Session | None = None
 
     def run(self, graph: nx.Graph) -> DistributedListingResult:
         """Execute the full recursive listing pipeline on the engine."""
+        self._session = (
+            self.session if self.session is not None
+            else Session(name="distributed-listing")
+        )
         self._backend = resolve_backend(self.backend)
         self._scenario = (
             None if self.scenario is None else resolve_scenario(self.scenario)
@@ -623,7 +631,7 @@ class DistributedListingDriver:
         predicted_rounds: int,
         phase: str,
     ) -> set[Clique]:
-        run = run_algorithm(
+        run = self._session.execute(
             plan.graph,
             plan.factory(),
             backend=self._backend,

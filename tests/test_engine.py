@@ -68,6 +68,25 @@ class TestBackendResolution:
         with pytest.raises(ValueError, match="unknown backend"):
             resolve_backend("gpu")
 
+    def test_unknown_backend_error_lists_sorted_registry_names(self):
+        with pytest.raises(ValueError) as excinfo:
+            resolve_backend("gpu")
+        assert str(available_backends()) in str(excinfo.value)
+
+    def test_registered_backend_resolves_by_name(self):
+        from repro.engine import register_backend
+        from repro.engine.registry import backend_registry
+
+        @register_backend("unit-echo")
+        class EchoBackend(ReferenceBackend):
+            pass
+
+        try:
+            assert "unit-echo" in available_backends()
+            assert isinstance(resolve_backend("unit-echo"), EchoBackend)
+        finally:
+            backend_registry.entries.pop("unit-echo")
+
     def test_non_backend_rejected(self):
         with pytest.raises(TypeError):
             resolve_backend(42)
@@ -89,6 +108,16 @@ class TestScenarioResolution:
     def test_unknown_scenario_rejected(self):
         with pytest.raises(ValueError, match="unknown scenario"):
             resolve_scenario("solar-flare")
+
+    def test_unknown_scenario_error_lists_sorted_registry_names(self):
+        from repro.engine import available_scenarios
+
+        with pytest.raises(ValueError) as excinfo:
+            resolve_scenario("solar-flare")
+        message = str(excinfo.value)
+        assert str(available_scenarios()) in message
+        for name in ("bursty", "clean", "heterogeneous-bandwidth", "link-drop"):
+            assert name in message
 
     def test_invalid_parameters_rejected(self):
         with pytest.raises(ValueError):
