@@ -49,7 +49,7 @@ from repro.engine import VectorAlgorithm
 from repro.engine import run_algorithm as run_on_engine
 from repro.experiments import ExperimentSpec, ResultSet, RunResult, Session
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "VectorAlgorithm",

@@ -18,11 +18,16 @@ are executed*:
   backend while still running per-vertex (via its ``per_vertex`` twin) on
   the reference and sharded backends.
 * :mod:`repro.engine.sharded` -- vertex-partitioned execution across forked
-  worker processes with per-round barriers and batched pipe traffic.
+  worker processes with per-round barriers; message traffic crosses through
+  shared-memory columnar blocks (:mod:`repro.engine.shm`), the pipes carry
+  only control tokens.
 * :mod:`repro.engine.scenarios` -- pluggable, composable delivery models:
   clean synchronous, per-round link drops, adversarial bounded delay,
   correlated bursty outages, per-edge heterogeneous bandwidth, and the
-  :class:`ComposedScenario` overlay/sequential combinator.
+  :class:`ComposedScenario` overlay/sequential combinator (JSON-serialisable
+  via :func:`build_composed`).  Every built-in ships a batch
+  ``transmit_mask`` kernel, so the fast backends schedule faulty scenarios
+  with prefix sums instead of per-round decision replay.
 * :mod:`repro.engine.runner` -- :func:`run_algorithm`, the single-execution
   compatibility shim; declarative sweeps and grids live one layer up in
   :mod:`repro.experiments`.
@@ -55,6 +60,7 @@ from repro.engine.scenarios import (
     DeliveryScenario,
     HeterogeneousBandwidthScenario,
     LinkDropScenario,
+    build_composed,
     resolve_scenario,
 )
 from repro.engine.sharded import ShardedBackend
@@ -98,5 +104,6 @@ __all__ = [
     "HeterogeneousBandwidthScenario",
     "ComposedScenario",
     "SCENARIOS",
+    "build_composed",
     "resolve_scenario",
 ]

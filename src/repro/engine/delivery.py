@@ -11,15 +11,22 @@ Python objects, yet the word accounting (one word per busy edge per round)
 is reproduced exactly via a difference array over rounds.
 
 Under a faulty :class:`~repro.engine.scenarios.DeliveryScenario` the
-scheduler replays the scenario's per-(edge, round) transmit decisions when
-computing completion rounds, so it agrees word-for-word with the
-edge-by-edge reference under the same scenario.
+scheduler consumes the scenario's **batch transmit mask**
+(:meth:`~repro.engine.scenarios.DeliveryScenario.transmit_mask`): for the
+edges of a batch it materialises the per-(edge, round) decision matrix over
+a growing round window and turns it into per-edge cumulative-transmission
+prefix sums — the round in which a transfer's ``k``-th word crosses is the
+position of the ``k``-th set bit at/after the transfer's start.  That keeps
+faulty-scenario scheduling inside numpy for every scenario with a native
+kernel (all built-ins), while scenarios that only implement the scalar
+``transmits`` fall back to the per-round replay — in both cases agreeing
+word-for-word with the edge-by-edge reference under the same scenario.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Hashable
+from typing import Hashable, Sequence
 
 import networkx as nx
 import numpy as np
@@ -28,6 +35,12 @@ from repro.congest.message import Message, words_for_payload
 from repro.engine.scenarios import CleanSynchronous, DeliveryScenario
 
 Edge = tuple[Hashable, Hashable]
+
+# Round-window sizing of the masked prefix-sum search: start near the batch's
+# largest transfer (a clean-ish scenario completes in one query), double on
+# a miss, never materialise more than _WINDOW_CAP columns at once.
+_WINDOW_MIN = 64
+_WINDOW_CAP = 1 << 15
 
 
 class GraphIndex:
@@ -42,6 +55,8 @@ class GraphIndex:
             of every undirected edge.  Doubles as an O(1) adjacency test
             with O(m) memory, which is what keeps the engine viable on
             large sparse graphs.
+        edges: directed edge tuples in dense-id order (the inverse of
+            ``edge_ids``); scenario kernels bind to this order.
     """
 
     def __init__(self, graph: nx.Graph):
@@ -55,6 +70,8 @@ class GraphIndex:
             # simulator, not two.
             self.edge_ids.setdefault((u, v), len(self.edge_ids))
             self.edge_ids.setdefault((v, u), len(self.edge_ids))
+        # Insertion order == id order, so the key list inverts the mapping.
+        self.edges: list[Edge] = list(self.edge_ids)
 
     def has_edge(self, u: Hashable, v: Hashable) -> bool:
         """Adjacency test in one hash lookup (no networkx dict-of-dicts)."""
@@ -69,7 +86,14 @@ class WordScheduler:
     enqueued in round ``r`` on edge ``e`` starts at
     ``max(edge_free_at[e] + 1, r)`` and, under the clean scenario, completes
     ``w`` rounds later — exactly the FIFO head-of-line behaviour of the
-    per-edge deques in the reference simulator.
+    per-edge deques in the reference simulator.  Under a faulty scenario
+    with a batch kernel the completion round comes from prefix sums over
+    the scenario's transmit mask; kernel-less scenarios replay the scalar
+    decisions per transfer.
+
+    The scheduler binds the scenario to its graph's edge order at
+    construction, so a scenario instance schedules for one graph at a time
+    (rebinding on the next run is automatic and cheap).
     """
 
     def __init__(
@@ -85,6 +109,8 @@ class WordScheduler:
         # search must never scan past the last round that can execute —
         # that is why the horizon is a required argument.
         self.horizon = horizon
+        if not self.scenario.is_clean:
+            self.scenario.bind_edges(index.edges)
         self.edge_free_at = np.full(len(index.edge_ids), -1, dtype=np.int64)
         self._buckets: dict[int, list[Message]] = defaultdict(list)
         # Array-mode buckets (the vector layer): per completion round, a
@@ -98,6 +124,8 @@ class WordScheduler:
         self._level_diff: dict[int, int] = defaultdict(int)
         self._level = 0
         self.pending_messages = 0
+
+    # -- completion-round computation ----------------------------------------
 
     def _transfer_done(self, edge: Edge, edge_id: int, round_index: int, words: int) -> int:
         """Completion round of one transfer; updates occupancy and word levels."""
@@ -125,8 +153,204 @@ class WordScheduler:
         self.edge_free_at[edge_id] = done
         return done
 
+    def _kernel_completions(
+        self,
+        edge_rows: np.ndarray,
+        starts: np.ndarray,
+        needed: np.ndarray,
+        query_group: np.ndarray,
+        query_k: np.ndarray,
+    ) -> np.ndarray:
+        """Per-transfer completion rounds from transmit-mask prefix sums.
+
+        ``edge_rows[g]`` queues ``needed[g]`` words starting at
+        ``starts[g]``; each query asks for the round in which edge group
+        ``query_group[i]``'s ``query_k[i]``-th word crosses (``query_k`` is
+        the cumulative word count within the group's FIFO, so the answer is
+        the position of the ``k``-th set mask bit at/after the start).
+        Queries the horizon cuts off resolve to ``horizon`` — the parked
+        never-completes convention of :meth:`_transfer_done`.
+
+        The scenario's transmit mask is materialised over an adaptively
+        sized round window per iteration; within a window the per-edge
+        prefix sum answers every query falling inside it via one batched
+        ``searchsorted``, and the per-round word-level histogram (crossings
+        consumed by this batch, capped at each edge's demand) feeds the
+        difference array without ever extracting individual crossings.
+        """
+        groups = int(edge_rows.size)
+        counts = np.zeros(groups, dtype=np.int64)
+        done = np.full(query_k.size, self.horizon, dtype=np.int64)
+        local_of_group = np.full(groups, -1, dtype=np.int64)
+        pending = np.arange(groups)
+        cursor = starts.astype(np.int64, copy=True)
+        horizon = self.horizon
+        level_diff = self._level_diff
+        width = int(min(max(int(needed.max()) + 16, _WINDOW_MIN), _WINDOW_CAP))
+        while pending.size:
+            lo = int(cursor[pending].min())
+            hi = min(lo + width, horizon)
+            if hi <= lo:
+                break
+            num = hi - lo
+            mask = self.scenario.transmit_mask(edge_rows[pending], lo, num)
+            if lo < int(cursor[pending].max()):
+                cols = np.arange(num, dtype=np.int64)
+                mask &= cols[None, :] >= (cursor[pending] - lo)[:, None]
+            prefix = np.cumsum(mask, axis=1)
+            before = counts[pending]
+            found = prefix[:, -1]
+            total = before + found
+            # Word-level accounting: the crossings this batch consumes in
+            # the window are the set bits whose running total stays within
+            # the edge's demand; their per-round histogram updates the
+            # difference array (+c at the round, -c one round later).
+            demand = needed[pending]
+            if bool((total <= demand).all()):
+                # No edge exceeds its demand inside this window (the common
+                # case for all but the last window), so every set bit is a
+                # consumed crossing — skip the cap comparison pass.
+                consumed = mask
+            else:
+                consumed = mask & (before[:, None] + prefix <= demand[:, None])
+            histogram = consumed.sum(axis=0)
+            for column in np.flatnonzero(histogram).tolist():
+                crossings = int(histogram[column])
+                level_diff[lo + column] += crossings
+                level_diff[lo + column + 1] -= crossings
+            # Resolve the queries whose k-th crossing falls in this window:
+            # the k-th set bit of row r is the first column whose prefix
+            # reaches k, found by one searchsorted over the row-offset
+            # flattened prefix (rows are kept monotonic by an offset larger
+            # than any prefix value).
+            local_of_group[pending] = np.arange(pending.size)
+            q_local = local_of_group[query_group]
+            q_safe = np.maximum(q_local, 0)
+            answerable = (
+                (q_local >= 0)
+                & (query_k > before[q_safe])
+                & (query_k <= total[q_safe])
+            )
+            if answerable.any():
+                rows = q_local[answerable]
+                row_base = rows * (num + 1)
+                flat = (prefix + (np.arange(pending.size) * (num + 1))[:, None]).ravel()
+                keys = (query_k[answerable] - before[rows]) + row_base
+                positions = np.searchsorted(flat, keys, side="left")
+                done[answerable] = lo + (positions - rows * num)
+            local_of_group[pending] = -1
+            counts[pending] = total
+            # Advance only rows the window actually scanned: a row whose
+            # start lies beyond this window keeps its cursor (and thereby
+            # its start-culling) for the windows that reach it.
+            cursor[pending] = np.maximum(cursor[pending], hi)
+            still = found < demand - before
+            pending = pending[still]
+            if hi >= horizon or not pending.size:
+                break
+            # Size the next window from the sparsest pending row's observed
+            # transmit density (fall back to doubling when a row was fully
+            # blocked, e.g. inside a burst).
+            remaining_max = int((needed[pending] - counts[pending]).max())
+            min_density = float((found[still] / num).min())
+            if min_density > 0.0:
+                width = int(remaining_max / min_density * 1.25) + 8
+            else:
+                width = width * 2
+            width = int(min(max(width, _WINDOW_MIN), _WINDOW_CAP))
+        return done
+
+    def _schedule_transfers(
+        self, edge_ids: np.ndarray, words: np.ndarray, round_index: int
+    ) -> np.ndarray:
+        """Completion rounds (original array order) of a batch of transfers.
+
+        Semantics are identical to calling :meth:`_transfer_done` once per
+        row in array order — including FIFO queueing when the same directed
+        edge appears more than once — with occupancy (``edge_free_at``) and
+        the word-level difference array updated.  Three paths: clean
+        (pure arithmetic), scenario kernel (prefix sums over the transmit
+        mask), scalar fallback (per-transfer decision replay for scenarios
+        without a kernel).
+        """
+        count = int(edge_ids.size)
+        scenario = self.scenario
+        if scenario.is_clean:
+            order = np.argsort(edge_ids, kind="stable")
+            e = edge_ids[order]
+            w = words[order]
+            positions = np.arange(count)
+            group_first = np.empty(count, dtype=bool)
+            group_first[0] = True
+            group_first[1:] = e[1:] != e[:-1]
+            first_index = np.maximum.accumulate(
+                np.where(group_first, positions, 0)
+            )
+            # Within an edge's FIFO group, transfer k starts right after the
+            # cumulative words of transfers 0..k-1 queued before it.
+            cumulative = np.cumsum(w)
+            preceding = cumulative - w
+            offset = preceding - preceding[first_index]
+            base = np.maximum(self.edge_free_at[e] + 1, round_index)
+            start = base[first_index] + offset
+            done_sorted = start + w - 1
+            group_last = np.empty(count, dtype=bool)
+            group_last[-1] = True
+            group_last[:-1] = group_first[1:]
+            self.edge_free_at[e[group_last]] = done_sorted[group_last]
+            for r, c in zip(*np.unique(start, return_counts=True)):
+                self._level_diff[int(r)] += int(c)
+            for r, c in zip(*np.unique(done_sorted + 1, return_counts=True)):
+                self._level_diff[int(r)] -= int(c)
+            done = np.empty(count, dtype=np.int64)
+            done[order] = done_sorted
+            return done
+        if scenario.has_kernel:
+            # Group FIFO traffic per edge, then answer "in which round does
+            # this edge's k-th word cross?" with one prefix-sum search per
+            # batch instead of a per-round Python replay per transfer.
+            order = np.argsort(edge_ids, kind="stable")
+            e = edge_ids[order]
+            w = words[order]
+            group_first = np.empty(count, dtype=bool)
+            group_first[0] = True
+            group_first[1:] = e[1:] != e[:-1]
+            first_pos = np.flatnonzero(group_first)
+            group_sizes = np.diff(np.append(first_pos, count))
+            group_ids = np.cumsum(group_first) - 1
+            u_edges = e[first_pos]
+            cumulative = np.cumsum(w)
+            group_base = cumulative[first_pos] - w[first_pos]
+            cum_within = cumulative - np.repeat(group_base, group_sizes)
+            last_pos = np.append(first_pos[1:], count) - 1
+            totals = cum_within[last_pos]
+            starts = np.maximum(self.edge_free_at[u_edges] + 1, round_index)
+            done_sorted = self._kernel_completions(
+                u_edges, starts, totals, group_ids, cum_within
+            )
+            self.edge_free_at[u_edges] = done_sorted[last_pos]
+            done = np.empty(count, dtype=np.int64)
+            done[order] = done_sorted
+            return done
+        # Scalar fallback: the scenario only implements per-(edge, round)
+        # ``transmits``; replay decisions per transfer in array order.
+        edges = self.index.edges
+        done = np.empty(count, dtype=np.int64)
+        for i in range(count):
+            edge_id = int(edge_ids[i])
+            done[i] = self._transfer_done(
+                edges[edge_id], edge_id, round_index, int(words[i])
+            )
+        return done
+
+    # -- enqueueing -----------------------------------------------------------
+
     def schedule(self, message: Message, round_index: int, words: int) -> int:
-        """Enqueue one message; returns the round its last word crosses."""
+        """Enqueue one message; returns the round its last word crosses.
+
+        For whole-round traffic prefer :meth:`schedule_messages`, which
+        computes completion rounds for the entire batch in one mask query.
+        """
         edge_id = self.index.edge_ids[(message.sender, message.receiver)]
         done = self._transfer_done(
             (message.sender, message.receiver), edge_id, round_index, words
@@ -134,6 +358,36 @@ class WordScheduler:
         self._buckets[done].append(message)
         self.pending_messages += 1
         return done
+
+    def schedule_messages(
+        self,
+        messages: Sequence[Message],
+        words: Sequence[int],
+        round_index: int,
+    ) -> None:
+        """Bulk-enqueue message objects (one round's outgoing traffic).
+
+        Semantics are identical to calling :meth:`schedule` once per
+        message in sequence order — including FIFO queueing when the same
+        directed edge appears more than once — but completion rounds are
+        computed for the whole batch at once, which keeps faulty-scenario
+        scheduling vectorized for every kernel scenario.
+        """
+        count = len(messages)
+        if count == 0:
+            return
+        edge_lookup = self.index.edge_ids
+        edge_ids = np.fromiter(
+            (edge_lookup[(m.sender, m.receiver)] for m in messages),
+            dtype=np.int64,
+            count=count,
+        )
+        words_array = np.asarray(words, dtype=np.int64)
+        done = self._schedule_transfers(edge_ids, words_array, round_index)
+        buckets = self._buckets
+        for message, when in zip(messages, done.tolist()):
+            buckets[when].append(message)
+        self.pending_messages += count
 
     def schedule_batch(
         self,
@@ -152,7 +406,8 @@ class WordScheduler:
         words handed back verbatim by :meth:`deliver_batch`.  Semantics are
         identical to calling :meth:`schedule` once per row in array order —
         including FIFO queueing when the same directed edge appears more
-        than once — but the clean-scenario path is pure numpy.
+        than once — and the whole computation stays in numpy for the clean
+        scenario and for every scenario with a batch kernel.
 
         Completed rounds must then be drained with :meth:`deliver_batch`;
         a scheduler instance uses either the message-object API or the
@@ -161,46 +416,7 @@ class WordScheduler:
         count = int(edge_ids.size)
         if count == 0:
             return
-        if self.scenario.is_clean:
-            order = np.argsort(edge_ids, kind="stable")
-            e = edge_ids[order]
-            w = words[order]
-            positions = np.arange(count)
-            group_first = np.empty(count, dtype=bool)
-            group_first[0] = True
-            group_first[1:] = e[1:] != e[:-1]
-            first_index = np.maximum.accumulate(
-                np.where(group_first, positions, 0)
-            )
-            # Within an edge's FIFO group, transfer k starts right after the
-            # cumulative words of transfers 0..k-1 queued before it.
-            cumulative = np.cumsum(w)
-            preceding = cumulative - w
-            offset = preceding - preceding[first_index]
-            base = np.maximum(self.edge_free_at[e] + 1, round_index)
-            start = base[first_index] + offset
-            done = start + w - 1
-            group_last = np.empty(count, dtype=bool)
-            group_last[-1] = True
-            group_last[:-1] = group_first[1:]
-            self.edge_free_at[e[group_last]] = done[group_last]
-            for r, c in zip(*np.unique(start, return_counts=True)):
-                self._level_diff[int(r)] += int(c)
-            for r, c in zip(*np.unique(done + 1, return_counts=True)):
-                self._level_diff[int(r)] -= int(c)
-            original = order
-        else:
-            # Faulty scenarios replay per-(edge, round) decisions, which is
-            # inherently per-transfer Python; the vector layer still wins by
-            # skipping per-vertex dispatch and Message objects.
-            nodes = self.index.nodes
-            done = np.empty(count, dtype=np.int64)
-            for i in range(count):
-                edge = (nodes[int(senders[i])], nodes[int(receivers[i])])
-                done[i] = self._transfer_done(
-                    edge, int(edge_ids[i]), round_index, int(words[i])
-                )
-            original = np.arange(count)
+        done = self._schedule_transfers(edge_ids, words, round_index)
         bucket_order = np.argsort(done, kind="stable")
         done_sorted = done[bucket_order]
         boundaries = np.flatnonzero(
@@ -209,11 +425,13 @@ class WordScheduler:
         boundaries = np.append(boundaries, count)
         for k in range(len(boundaries) - 1):
             lo, hi = int(boundaries[k]), int(boundaries[k + 1])
-            rows = original[bucket_order[lo:hi]]
+            rows = bucket_order[lo:hi]
             self._array_buckets[int(done_sorted[lo])].append(
                 (senders[rows], receivers[rows], values[rows])
             )
         self.pending_messages += count
+
+    # -- delivery -------------------------------------------------------------
 
     def deliver_batch(
         self, round_index: int

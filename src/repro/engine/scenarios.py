@@ -10,16 +10,45 @@ Scenarios are *stateless pure functions* of ``(edge, round_index)``: every
 decision is derived from a seeded cryptographic hash rather than from a
 shared mutable RNG.  This is what makes the same scenario reproducible
 across all engine backends — the reference simulator queries the decision
-edge-by-edge while the vectorized scheduler replays the identical decisions
-when computing delivery rounds in batch, and both see the same world.
+edge-by-edge while the batch schedulers consume the identical decisions in
+bulk, and both see the same world.
+
+Every scenario exposes the decision function twice:
+
+* :meth:`DeliveryScenario.transmits` — the scalar form the reference
+  simulator queries per ``(edge, round)``;
+* :meth:`DeliveryScenario.transmit_mask` — the batch form
+  (``edge_ids x rounds`` boolean matrix) the
+  :class:`~repro.engine.delivery.WordScheduler` consumes when computing
+  completion rounds by prefix sums.
+
+The built-in scenarios implement native numpy kernels for the batch form
+(``has_kernel = True``): the per-``(edge, round)`` decision is a
+`splitmix64 <https://prng.di.unimi.it/splitmix64.c>`_ finalizer applied to a
+per-edge blake2b base hash combined with the round (or burst window) index,
+computable as pure ``uint64`` array arithmetic.  The scalar ``transmits``
+evaluates the *same* integer formula, so both forms agree call-for-call —
+a guarantee pinned by the property suite (``tests/test_scenario_kernels.py``).
+User scenarios only need to implement ``transmits``: the default
+``transmit_mask`` replays it element-wise (correct everywhere, just not
+vectorized — see the README's Performance section for when that fallback
+fires and how to add a kernel).
+
+Batch queries address edges by the dense ids of a
+:class:`~repro.engine.delivery.GraphIndex`; :meth:`DeliveryScenario.bind_edges`
+associates those ids with the directed edge tuples the hashes are derived
+from.  The scheduler binds automatically, so users never call it directly.
 """
 
 from __future__ import annotations
 
 import hashlib
+import inspect
 import math
 from abc import ABC
-from typing import Hashable, Iterable, Sequence
+from typing import Any, Hashable, Iterable, Sequence
+
+import numpy as np
 
 from repro.engine.registry import (
     available_scenarios,
@@ -30,6 +59,16 @@ from repro.engine.registry import (
 Edge = tuple[Hashable, Hashable]
 
 _HASH_DENOM = float(2**64)
+_MASK64 = (1 << 64) - 1
+# Weyl-sequence increment (golden-ratio constant) of splitmix64: mixing
+# ``base + _GOLDEN * index`` decorrelates consecutive indices.
+_GOLDEN = 0x9E3779B97F4A7C15
+_MIX_A = 0xBF58476D1CE4E5B9
+_MIX_B = 0x94D049BB133111EB
+# Odd multipliers combining two per-vertex hashes into a directed-edge base
+# (asymmetric, so (u, v) and (v, u) draw independently).
+_EDGE_U = 0x9E3779B97F4A7C15
+_EDGE_V = 0xC2B2AE3D27D4EB4F
 
 
 def _stable_hash(*parts: object) -> int:
@@ -43,24 +82,172 @@ def _stable_hash(*parts: object) -> int:
     return int.from_bytes(digest, "big")
 
 
+def _mix64(value: int) -> int:
+    """The splitmix64 finalizer on a 64-bit integer (scalar form)."""
+    value &= _MASK64
+    value = ((value ^ (value >> 30)) * _MIX_A) & _MASK64
+    value = ((value ^ (value >> 27)) * _MIX_B) & _MASK64
+    return value ^ (value >> 31)
+
+
+def _mix64_array(values: np.ndarray) -> np.ndarray:
+    """The splitmix64 finalizer on a ``uint64`` array (bit-equal to scalar).
+
+    Mixes **in place** when handed a ``uint64`` array — callers pass freshly
+    allocated combination arrays, and the hot path is memory-bound, so the
+    avoided copy is a full pass over the matrix.
+    """
+    v = values.astype(np.uint64, copy=False)
+    v ^= v >> np.uint64(30)
+    v *= np.uint64(_MIX_A)
+    v ^= v >> np.uint64(27)
+    v *= np.uint64(_MIX_B)
+    v ^= v >> np.uint64(31)
+    return v
+
+
+class _VertexHashMixin:
+    """Per-edge 64-bit hash bases derived from per-*vertex* blake2b hashes.
+
+    Hashing each directed edge with blake2b is a per-edge Python cost paid
+    at every kernel bind (``O(m)`` digests).  Deriving the edge base as an
+    asymmetric uint64 combination of two per-vertex hashes needs only
+    ``O(n)`` digests, memoised across binds, and the per-edge combination
+    vectorises.  Subclasses define ``_hash_label`` (the salt that makes
+    scenarios draw independently of each other) and call
+    :meth:`_vertex_hash` / :meth:`_edge_base_arrays`.
+    """
+
+    _hash_label: str = ""
+    seed: int = 0
+
+    def _vertex_hash(self, vertex: Hashable) -> int:
+        cache = self.__dict__.setdefault("_vertex_hashes", {})
+        value = cache.get(vertex)
+        if value is None:
+            value = _stable_hash(self._hash_label, self.seed, vertex)
+            cache[vertex] = value
+        return value
+
+    def _edge_base(self, edge: Edge, salt: int = 0) -> int:
+        # Memoised: the scalar hot path (the reference simulator queries
+        # per edge per round) must cost one dict lookup, not three mults.
+        cache = self.__dict__.setdefault("_edge_base_cache", {})
+        key = (edge, salt)
+        value = cache.get(key)
+        if value is None:
+            u, v = edge
+            value = _mix64(
+                self._vertex_hash(u) * _EDGE_U
+                + self._vertex_hash(v) * _EDGE_V
+                + salt
+            )
+            cache[key] = value
+        return value
+
+    def _edge_base_arrays(self, edges: list[Edge]) -> tuple[np.ndarray, np.ndarray]:
+        """Per-vertex hash columns (``uint64``) of the bound edge list."""
+        count = len(edges)
+        hash_of = self._vertex_hash
+        head = np.fromiter(
+            (hash_of(u) for u, _ in edges), dtype=np.uint64, count=count
+        )
+        tail = np.fromiter(
+            (hash_of(v) for _, v in edges), dtype=np.uint64, count=count
+        )
+        return head, tail
+
+    def _combine_bases(
+        self, head: np.ndarray, tail: np.ndarray, salt: int = 0
+    ) -> np.ndarray:
+        return _mix64_array(
+            head * np.uint64(_EDGE_U)
+            + tail * np.uint64(_EDGE_V)
+            + np.uint64(salt)
+        )
+
+
+def _probability_threshold(probability: float) -> int:
+    """The integer threshold of a uniform-[0,1) draw compared against ``p``.
+
+    A 64-bit draw ``bits`` is below probability ``p`` exactly when
+    ``bits < int(p * 2**64)``; comparing integers keeps the scalar and
+    array forms bit-identical (float division of a 64-bit integer rounds).
+    """
+    return min(int(probability * _HASH_DENOM), _MASK64)
+
+
 class DeliveryScenario(ABC):
     """Decides per (directed edge, round) whether a word crosses.
 
     Attributes:
         is_clean: ``True`` when ``transmits`` is constantly ``True``; lets
-            vectorized schedulers skip the per-round decision replay and
-            compute delivery rounds arithmetically.
+            batch schedulers skip the decision replay entirely and compute
+            delivery rounds arithmetically.
+        has_kernel: ``True`` when :meth:`transmit_mask` is a native numpy
+            kernel; the scheduler then computes faulty-scenario completion
+            rounds by prefix sums over the mask instead of replaying the
+            scalar ``transmits`` per round.  The default ``False`` keeps
+            every ``transmits``-only user scenario working (the base
+            ``transmit_mask`` loops the scalar form).
         name: registry key when the class is registered via
             :func:`repro.engine.registry.register_scenario`; registered
             classes are selectable by name wherever a scenario is accepted.
     """
 
     is_clean: bool = False
+    has_kernel: bool = False
     name: str = ""
+    _bound_edges: list[Edge] | None = None
 
     def transmits(self, edge: Edge, round_index: int) -> bool:
         """Whether ``edge`` moves its head-of-queue word in ``round_index``."""
         return True
+
+    # -- batch form -----------------------------------------------------------
+
+    def bind_edges(self, edges: Sequence[Edge]) -> None:
+        """Associate dense edge ids ``0..len(edges)-1`` with edge tuples.
+
+        Batch queries (:meth:`transmit_mask`) address edges by dense id;
+        binding tells the scenario which directed edge each id denotes and
+        lets kernel scenarios precompute per-edge hash bases / rates /
+        phases as dense arrays.  The
+        :class:`~repro.engine.delivery.WordScheduler` binds its
+        :class:`~repro.engine.delivery.GraphIndex` edge order automatically;
+        re-binding (a new run, a different graph) replaces the previous
+        association.
+        """
+        self._bound_edges = list(edges)
+        self._bind_kernel(self._bound_edges)
+
+    def _bind_kernel(self, edges: list[Edge]) -> None:
+        """Hook for kernels to precompute dense per-edge arrays."""
+
+    def transmit_mask(
+        self, edge_ids: np.ndarray, first_round: int, num_rounds: int
+    ) -> np.ndarray:
+        """Boolean matrix: ``[i, j]`` is ``transmits(edge_ids[i], first_round + j)``.
+
+        The base implementation replays the scalar :meth:`transmits` per
+        element, so every scenario supports the batch form; kernels
+        (``has_kernel = True``) override with array arithmetic.  Requires
+        :meth:`bind_edges` to have associated ids with edges.
+        """
+        edges = self._bound_edges
+        if edges is None:
+            raise RuntimeError(
+                f"{type(self).__name__}.transmit_mask needs bind_edges() first "
+                f"(the WordScheduler binds automatically)"
+            )
+        ids = np.asarray(edge_ids, dtype=np.int64)
+        mask = np.empty((ids.size, num_rounds), dtype=bool)
+        for i, edge_id in enumerate(ids):
+            edge = edges[int(edge_id)]
+            row = mask[i]
+            for j in range(num_rounds):
+                row[j] = self.transmits(edge, first_round + j)
+        return mask
 
     def transfer_schedule(
         self, edge: Edge, start_round: int, words: int, horizon: int | None = None
@@ -88,6 +275,16 @@ class DeliveryScenario(ABC):
             round_index += 1
         return schedule
 
+    def spec_params(self) -> dict[str, Any]:
+        """Constructor parameters as a plain-JSON dict (for experiment specs).
+
+        Together with the class's registry ``name`` this makes a scenario
+        instance portable: ``{"name": s.name, "params": s.spec_params()}``
+        reconstructs an equivalent instance.  Scenarios holding
+        non-serialisable state raise :class:`ValueError`.
+        """
+        return {}
+
     def describe(self) -> str:
         return type(self).__name__
 
@@ -101,13 +298,19 @@ class CleanSynchronous(DeliveryScenario):
     """The standard fault-free synchronous CONGEST model."""
 
     is_clean = True
+    has_kernel = True
 
     def transmits(self, edge: Edge, round_index: int) -> bool:
         return True
 
+    def transmit_mask(
+        self, edge_ids: np.ndarray, first_round: int, num_rounds: int
+    ) -> np.ndarray:
+        return np.ones((np.asarray(edge_ids).size, num_rounds), dtype=bool)
+
 
 @register_scenario("link-drop")
-class LinkDropScenario(DeliveryScenario):
+class LinkDropScenario(_VertexHashMixin, DeliveryScenario):
     """Each directed edge independently drops its word with fixed probability.
 
     A dropped word is *retransmitted*: it simply does not cross this round
@@ -116,7 +319,15 @@ class LinkDropScenario(DeliveryScenario):
     regime studied for robust congested-clique computation (arXiv:2508.08740):
     bandwidth is still one word per edge per round, but an expected
     ``1/(1-q)`` stretch is paid on every transfer.
+
+    The per-``(edge, round)`` draw is ``splitmix64(base(edge) + GOLDEN *
+    round)`` over a per-edge base combined from seeded per-vertex blake2b
+    hashes — integer arithmetic shared by the scalar and kernel forms,
+    deterministic across processes and backends.
     """
+
+    has_kernel = True
+    _hash_label = "link-drop"
 
     def __init__(self, drop_probability: float = 0.1, seed: int = 0):
         if not 0.0 <= drop_probability < 1.0:
@@ -125,17 +336,36 @@ class LinkDropScenario(DeliveryScenario):
             )
         self.drop_probability = drop_probability
         self.seed = seed
+        self._threshold = _probability_threshold(drop_probability)
+        self._base_by_id: np.ndarray | None = None
+
+    def _bind_kernel(self, edges: list[Edge]) -> None:
+        head, tail = self._edge_base_arrays(edges)
+        self._base_by_id = self._combine_bases(head, tail)
 
     def transmits(self, edge: Edge, round_index: int) -> bool:
-        draw = _stable_hash("link-drop", self.seed, edge, round_index) / _HASH_DENOM
-        return draw >= self.drop_probability
+        bits = _mix64(self._edge_base(edge) + _GOLDEN * round_index)
+        return bits >= self._threshold
+
+    def transmit_mask(
+        self, edge_ids: np.ndarray, first_round: int, num_rounds: int
+    ) -> np.ndarray:
+        base = self._base_by_id[np.asarray(edge_ids, dtype=np.int64)]
+        rounds = np.uint64(first_round) + np.arange(num_rounds, dtype=np.uint64)
+        bits = _mix64_array(
+            base[:, None] + np.uint64(_GOLDEN) * rounds[None, :]
+        )
+        return bits >= np.uint64(self._threshold)
+
+    def spec_params(self) -> dict[str, Any]:
+        return {"drop_probability": self.drop_probability, "seed": self.seed}
 
     def describe(self) -> str:
         return f"LinkDropScenario(q={self.drop_probability}, seed={self.seed})"
 
 
 @register_scenario("adversarial-delay")
-class AdversarialDelayScenario(DeliveryScenario):
+class AdversarialDelayScenario(_VertexHashMixin, DeliveryScenario):
     """A deterministic adversary stalls each edge one round in every period.
 
     The adversary may reorder work in time but cannot exceed the model's
@@ -146,6 +376,9 @@ class AdversarialDelayScenario(DeliveryScenario):
     worst case for algorithms that rely on lockstep arrival.
     """
 
+    has_kernel = True
+    _hash_label = "adv-delay"
+
     def __init__(self, stall_period: int = 4, seed: int = 0):
         if stall_period < 2:
             raise ValueError(f"stall period must be >= 2; got {stall_period}")
@@ -154,23 +387,42 @@ class AdversarialDelayScenario(DeliveryScenario):
         # The stall phase is a pure function of (seed, edge); memoise it so
         # the per-round hot path costs one dict lookup, not a blake2b hash.
         self._phases: dict[Edge, int] = {}
+        self._phase_by_id: np.ndarray | None = None
 
     def _phase(self, edge: Edge) -> int:
         phase = self._phases.get(edge)
         if phase is None:
-            phase = _stable_hash("adv-delay", self.seed, edge) % self.stall_period
+            phase = self._edge_base(edge) % self.stall_period
             self._phases[edge] = phase
         return phase
 
+    def _bind_kernel(self, edges: list[Edge]) -> None:
+        head, tail = self._edge_base_arrays(edges)
+        self._phase_by_id = (
+            self._combine_bases(head, tail) % np.uint64(self.stall_period)
+        ).astype(np.int64)
+
     def transmits(self, edge: Edge, round_index: int) -> bool:
         return round_index % self.stall_period != self._phase(edge)
+
+    def transmit_mask(
+        self, edge_ids: np.ndarray, first_round: int, num_rounds: int
+    ) -> np.ndarray:
+        phases = self._phase_by_id[np.asarray(edge_ids, dtype=np.int64)]
+        offsets = (
+            first_round + np.arange(num_rounds, dtype=np.int64)
+        ) % self.stall_period
+        return offsets[None, :] != phases[:, None]
+
+    def spec_params(self) -> dict[str, Any]:
+        return {"stall_period": self.stall_period, "seed": self.seed}
 
     def describe(self) -> str:
         return f"AdversarialDelayScenario(period={self.stall_period}, seed={self.seed})"
 
 
 @register_scenario("bursty")
-class BurstyFaultScenario(DeliveryScenario):
+class BurstyFaultScenario(_VertexHashMixin, DeliveryScenario):
     """Correlated multi-round edge outages (bursty faults).
 
     The smooth-faults :class:`LinkDropScenario` loses each round's word
@@ -189,6 +441,8 @@ class BurstyFaultScenario(DeliveryScenario):
     transfers always complete eventually.  Decisions are pure functions of
     ``(edge, round)``, reproducible across all backends.
     """
+
+    has_kernel = True
 
     def __init__(
         self,
@@ -213,16 +467,74 @@ class BurstyFaultScenario(DeliveryScenario):
         self.burst_length = burst_length
         self.period = period
         self.seed = seed
+        self._threshold = _probability_threshold(burst_probability)
+        self._span = period - burst_length + 1
+        self._draw_base_by_id: np.ndarray | None = None
+        self._start_base_by_id: np.ndarray | None = None
+
+    _hash_label = "bursty"
+    # Salts separating the two per-(edge, window) draws derived from the
+    # same vertex hashes: whether a burst occurs, and where it starts.
+    _DRAW_SALT = 0x243F6A8885A308D3
+    _START_SALT = 0x13198A2E03707344
+
+    def _bind_kernel(self, edges: list[Edge]) -> None:
+        head, tail = self._edge_base_arrays(edges)
+        self._draw_base_by_id = self._combine_bases(head, tail, self._DRAW_SALT)
+        self._start_base_by_id = self._combine_bases(head, tail, self._START_SALT)
 
     def transmits(self, edge: Edge, round_index: int) -> bool:
         window, offset = divmod(round_index, self.period)
-        draw = _stable_hash("bursty", self.seed, edge, window) / _HASH_DENOM
-        if draw >= self.burst_probability:
+        bits = _mix64(self._edge_base(edge, self._DRAW_SALT) + _GOLDEN * window)
+        if bits >= self._threshold:
             return True
-        start = _stable_hash("bursty-start", self.seed, edge, window) % (
-            self.period - self.burst_length + 1
+        start = (
+            _mix64(self._edge_base(edge, self._START_SALT) + _GOLDEN * window)
+            % self._span
         )
         return not (start <= offset < start + self.burst_length)
+
+    def transmit_mask(
+        self, edge_ids: np.ndarray, first_round: int, num_rounds: int
+    ) -> np.ndarray:
+        ids = np.asarray(edge_ids, dtype=np.int64)
+        draw_base = self._draw_base_by_id[ids]
+        start_base = self._start_base_by_id[ids]
+        rounds = first_round + np.arange(num_rounds, dtype=np.int64)
+        windows, offsets = np.divmod(rounds, self.period)
+        first_window = int(windows[0])
+        window_range = np.arange(
+            first_window, int(windows[-1]) + 1, dtype=np.uint64
+        )
+        golden = np.uint64(_GOLDEN)
+        burst = (
+            _mix64_array(draw_base[:, None] + golden * window_range[None, :])
+            < np.uint64(self._threshold)
+        )
+        starts = (
+            _mix64_array(start_base[:, None] + golden * window_range[None, :])
+            % np.uint64(self._span)
+        ).astype(np.int64)
+        # Per column, index into this round's window; gather the window's
+        # burst flag / start offset for every (edge, round) cell.
+        window_of_col = windows - first_window
+        col_burst = burst[:, window_of_col]
+        col_start = starts[:, window_of_col]
+        offset_row = offsets[None, :]
+        blocked = (
+            col_burst
+            & (col_start <= offset_row)
+            & (offset_row < col_start + self.burst_length)
+        )
+        return ~blocked
+
+    def spec_params(self) -> dict[str, Any]:
+        return {
+            "burst_probability": self.burst_probability,
+            "burst_length": self.burst_length,
+            "period": self.period,
+            "seed": self.seed,
+        }
 
     def describe(self) -> str:
         return (
@@ -232,7 +544,7 @@ class BurstyFaultScenario(DeliveryScenario):
 
 
 @register_scenario("heterogeneous-bandwidth")
-class HeterogeneousBandwidthScenario(DeliveryScenario):
+class HeterogeneousBandwidthScenario(_VertexHashMixin, DeliveryScenario):
     """Per-edge word capacity: slow links carry less than one word per round.
 
     The CONGEST model gives every edge the same one-word-per-round
@@ -243,7 +555,7 @@ class HeterogeneousBandwidthScenario(DeliveryScenario):
     ``floor((r+1)*c) > floor(r*c)`` — a deterministic token schedule that
     crosses ``floor(r*c)`` words in any prefix of ``r`` rounds, so a
     ``w``-word transfer takes ``~w/c`` rounds.  The per-edge schedule feeds
-    through :meth:`DeliveryScenario.transfer_schedule` into the
+    through :meth:`DeliveryScenario.transmit_mask` into the
     :class:`~repro.engine.delivery.WordScheduler`, so the batch backends
     replay the identical slow-link behaviour word-for-word.
 
@@ -251,6 +563,8 @@ class HeterogeneousBandwidthScenario(DeliveryScenario):
     mapping, either orientation) when given, otherwise from a seeded hash
     choosing uniformly from ``capacities``.
     """
+
+    has_kernel = True
 
     def __init__(
         self,
@@ -268,6 +582,9 @@ class HeterogeneousBandwidthScenario(DeliveryScenario):
         self.seed = seed
         self.edge_capacities = dict(edge_capacities or {})
         self._rates: dict[Edge, float] = {}
+        self._rate_by_id: np.ndarray | None = None
+
+    _hash_label = "hetero-bw"
 
     def capacity(self, edge: Edge) -> float:
         """Words-per-round rate of ``edge`` (direction-independent)."""
@@ -276,21 +593,56 @@ class HeterogeneousBandwidthScenario(DeliveryScenario):
             u, v = edge
             rate = self.edge_capacities.get((u, v), self.edge_capacities.get((v, u)))
             if rate is None:
-                # Hash the orientation-independent edge so both directions
-                # of an undirected link share one rate, like a real cable.
-                a, b = sorted((u, v), key=repr)
+                # A commutative combination of the per-vertex hashes, so
+                # both directions of an undirected link share one rate,
+                # like a real cable.
                 rate = self.capacities[
-                    _stable_hash("hetero-bw", self.seed, a, b)
+                    _mix64(self._vertex_hash(u) + self._vertex_hash(v))
                     % len(self.capacities)
                 ]
             self._rates[edge] = rate
         return rate
+
+    def _bind_kernel(self, edges: list[Edge]) -> None:
+        if self.edge_capacities:
+            self._rate_by_id = np.fromiter(
+                (self.capacity(edge) for edge in edges),
+                dtype=np.float64,
+                count=len(edges),
+            )
+            return
+        head, tail = self._edge_base_arrays(edges)
+        choices = _mix64_array(head + tail) % np.uint64(len(self.capacities))
+        self._rate_by_id = np.asarray(self.capacities, dtype=np.float64)[
+            choices.astype(np.int64)
+        ]
 
     def transmits(self, edge: Edge, round_index: int) -> bool:
         rate = self.capacity(edge)
         if rate >= 1.0:
             return True
         return math.floor((round_index + 1) * rate) > math.floor(round_index * rate)
+
+    def transmit_mask(
+        self, edge_ids: np.ndarray, first_round: int, num_rounds: int
+    ) -> np.ndarray:
+        rates = self._rate_by_id[np.asarray(edge_ids, dtype=np.int64)]
+        rounds = np.arange(
+            first_round, first_round + num_rounds, dtype=np.float64
+        )
+        # The same IEEE-754 products and floors as the scalar form (rounds
+        # below 2**53 convert exactly), so both forms agree bit-for-bit.
+        return np.floor((rounds[None, :] + 1.0) * rates[:, None]) > np.floor(
+            rounds[None, :] * rates[:, None]
+        )
+
+    def spec_params(self) -> dict[str, Any]:
+        if self.edge_capacities:
+            raise ValueError(
+                "explicit edge_capacities (keyed by edge tuples) do not "
+                "serialise into spec params; use seeded capacities instead"
+            )
+        return {"capacities": list(self.capacities), "seed": self.seed}
 
     def describe(self) -> str:
         return (
@@ -313,7 +665,14 @@ class ComposedScenario(DeliveryScenario):
 
     Parts may be scenario instances or registry names.  Decisions remain
     pure functions of ``(edge, round)``, so composition preserves the
-    cross-backend reproducibility guarantee of the leaf scenarios.
+    cross-backend reproducibility guarantee of the leaf scenarios; when
+    every part has a native batch kernel the composition does too (overlay
+    ANDs the part masks, sequential splices them at the phase boundaries).
+
+    A composed tree serialises into experiment specs: name the
+    ``"composed"`` scenario with the nested parameter form produced by
+    :meth:`spec_params` (``{"op": ..., "children": [...], ...}``) — see
+    :func:`build_composed`.
     """
 
     def __init__(
@@ -355,6 +714,7 @@ class ComposedScenario(DeliveryScenario):
             self.durations = ()
             self._boundaries = ()
         self.is_clean = all(part.is_clean for part in self.parts)
+        self.has_kernel = all(part.has_kernel for part in self.parts)
 
     @classmethod
     def overlay(cls, *parts: DeliveryScenario | str) -> "ComposedScenario":
@@ -378,6 +738,10 @@ class ComposedScenario(DeliveryScenario):
             raise ValueError("only the last phase may leave its duration as None")
         return cls(parts, mode="sequential", durations=durations)
 
+    def _bind_kernel(self, edges: list[Edge]) -> None:
+        for part in self.parts:
+            part.bind_edges(edges)
+
     def _active(self, round_index: int) -> DeliveryScenario:
         for i, boundary in enumerate(self._boundaries):
             if round_index < boundary:
@@ -388,6 +752,57 @@ class ComposedScenario(DeliveryScenario):
         if self.mode == "overlay":
             return all(part.transmits(edge, round_index) for part in self.parts)
         return self._active(round_index).transmits(edge, round_index)
+
+    def transmit_mask(
+        self, edge_ids: np.ndarray, first_round: int, num_rounds: int
+    ) -> np.ndarray:
+        if self.mode == "overlay":
+            mask = self.parts[0].transmit_mask(edge_ids, first_round, num_rounds)
+            for part in self.parts[1:]:
+                mask &= part.transmit_mask(edge_ids, first_round, num_rounds)
+            return mask
+        # Sequential: splice the active part's mask per phase segment.
+        ids = np.asarray(edge_ids, dtype=np.int64)
+        mask = np.empty((ids.size, num_rounds), dtype=bool)
+        column = 0
+        while column < num_rounds:
+            round_index = first_round + column
+            part = self._active(round_index)
+            end = num_rounds
+            for boundary in self._boundaries:
+                if round_index < boundary:
+                    end = min(num_rounds, column + (boundary - round_index))
+                    break
+            mask[:, column:end] = part.transmit_mask(
+                ids, round_index, end - column
+            )
+            column = end
+        return mask
+
+    def spec_params(self) -> dict[str, Any]:
+        """The nested JSON parameter form of :func:`build_composed`.
+
+        Every part must be a *registered* scenario (or itself composed);
+        the result round-trips: ``build_composed(**composed.spec_params())``
+        reconstructs an equivalent tree, and an
+        :class:`~repro.experiments.ExperimentSpec` naming ``"composed"``
+        with these params serialises through ``to_json``/``from_json``.
+        """
+        children: list[dict[str, Any]] = []
+        for part in self.parts:
+            if isinstance(part, ComposedScenario):
+                children.append(part.spec_params())
+                continue
+            if not part.name or part.name not in scenario_registry:
+                raise ValueError(
+                    f"composed part {part.describe()} is not a registered "
+                    f"scenario; register it to serialise the tree"
+                )
+            children.append({"name": part.name, "params": part.spec_params()})
+        params: dict[str, Any] = {"op": self.mode, "children": children}
+        if self.mode == "sequential":
+            params["durations"] = list(self.durations)
+        return params
 
     def describe(self) -> str:
         if self.mode == "overlay":
@@ -400,6 +815,82 @@ class ComposedScenario(DeliveryScenario):
             pieces.append(self.parts[-1].describe())
             inner = " -> ".join(pieces)
         return f"Composed[{self.mode}]({inner})"
+
+
+def _build_composed_child(child: Any, seed: int | None) -> DeliveryScenario:
+    """One node of a composed-scenario JSON tree -> a scenario instance."""
+    if isinstance(child, DeliveryScenario):
+        return child
+    if isinstance(child, str):
+        child = {"name": child}
+    if not isinstance(child, dict):
+        raise ValueError(
+            f"composed child must be a scenario, a registry name, a "
+            f"{{'name', 'params'}} object, or a nested {{'op', 'children'}} "
+            f"tree; got {child!r}"
+        )
+    if "op" in child:
+        extra = set(child) - {"op", "children", "durations", "seed"}
+        if extra:
+            raise ValueError(
+                f"unknown keys {sorted(extra)} in composed subtree {child!r}; "
+                f"allowed: op, children, durations, seed"
+            )
+        nested = dict(child)
+        nested_seed = nested.pop("seed", seed)
+        return build_composed(seed=nested_seed, **nested)
+    if "name" not in child:
+        raise ValueError(f"composed child needs a 'name' or 'op' key: {child!r}")
+    extra = set(child) - {"name", "params"}
+    if extra:
+        # A typo'd key ('parms', ...) must not silently yield a
+        # default-configured scenario — specs validate eagerly.
+        raise ValueError(
+            f"unknown keys {sorted(extra)} in composed child {child!r}; "
+            f"allowed: name, params"
+        )
+    cls = scenario_registry.get(child["name"])
+    params = dict(child.get("params", {}))
+    if seed is not None and "seed" not in params:
+        try:
+            if "seed" in inspect.signature(cls).parameters:
+                params["seed"] = seed
+        except (TypeError, ValueError):  # pragma: no cover - exotic classes
+            pass
+    return cls(**params)
+
+
+@register_scenario("composed")
+def build_composed(
+    op: str = "overlay",
+    children: Sequence[Any] = (),
+    durations: Sequence[int] | None = None,
+    seed: int | None = None,
+) -> ComposedScenario:
+    """Build a :class:`ComposedScenario` from its JSON parameter form.
+
+    Registered as the ``"composed"`` scenario, so experiment specs
+    serialise scenario *trees*: ``scenario="composed"`` with
+    ``scenario_params={"op": "overlay", "children": [{"name": "link-drop",
+    "params": {...}}, {"op": "sequential", ...}]}`` — children are
+    ``{name, params}`` objects, bare registry names, or nested
+    ``{op, children}`` trees.  ``seed`` (injected by multi-seed sweeps)
+    propagates into every child that accepts one and does not pin its own,
+    so composed scenarios sweep like any leaf scenario.
+
+    Unlike every other registered scenario, ``"composed"`` *is* its
+    parameters, so bare-name resolution cannot work; it raises with
+    instructions rather than an opaque constructor error.
+    """
+    if not children:
+        raise ValueError(
+            "the 'composed' scenario is parameter-driven and cannot be "
+            "resolved by bare name: pass scenario_params={'op': 'overlay' or "
+            "'sequential', 'children': [{'name': ..., 'params': {...}}, ...]} "
+            "(see repro.engine.build_composed)"
+        )
+    parts = [_build_composed_child(child, seed) for child in children]
+    return ComposedScenario(parts, mode=op, durations=durations)
 
 
 def resolve_scenario(scenario: DeliveryScenario | str | None) -> DeliveryScenario:
@@ -433,5 +924,6 @@ __all__ = [
     "LinkDropScenario",
     "SCENARIOS",
     "available_scenarios",
+    "build_composed",
     "resolve_scenario",
 ]

@@ -12,13 +12,17 @@ no worker can run ahead of the round the parent is driving.
 
 Workers are started with the ``fork`` start method so that arbitrary vertex
 factories (including classes defined in test modules or notebooks) need not
-be picklable; message traffic crosses process boundaries as one columnar
-batch per worker per round (four parallel tuples of sender / receiver /
-tag / payload — see :func:`_pack_messages`) rather than as lists of
-:class:`~repro.congest.message.Message` objects, which keeps the per-round
-pickle cost flat.  Where ``fork`` is unavailable (or for ``num_workers=1``)
-the shards run inline in-process with identical semantics, so results never
-depend on the host platform.
+be picklable.  Message traffic crosses process boundaries through
+**shared-memory columnar blocks** (:mod:`repro.engine.shm`): five dense
+``int64`` columns plus a payload arena per direction per worker, with the
+pipe reduced to a tiny per-round control token.  A round that overflows its
+block falls back to the PR 4 pickled columnar batch
+(:func:`_pack_messages`) for that round while the parent provisions a
+doubled replacement, and ``ShardedBackend(transport="pipe")`` selects the
+pickling transport outright (benchmarks compare the two).  Where ``fork``
+is unavailable (or for ``num_workers=1``) the shards run inline in-process
+with identical semantics — and **no serialisation layer at all**: inline
+shards exchange the very ``Message`` objects the parent holds.
 """
 
 from __future__ import annotations
@@ -37,6 +41,12 @@ from repro.engine.backend import Backend, VertexFactory
 from repro.engine.delivery import GraphIndex, WordScheduler, payload_words
 from repro.engine.registry import register_backend
 from repro.engine.scenarios import DeliveryScenario, resolve_scenario
+from repro.engine.shm import (
+    ColumnBlock,
+    ColumnReader,
+    ColumnWriter,
+    shared_memory_available,
+)
 
 _ROUND = "round"
 _FINISH = "finish"
@@ -49,10 +59,11 @@ _EMPTY_BATCH = ((), (), (), ())
 def _pack_messages(messages: list[Message]) -> tuple[tuple, ...]:
     """Columnar batch for one pipe crossing: four parallel tuples.
 
-    The pipes carry one batched payload per worker per round instead of a
-    list of :class:`Message` dataclass instances: pickling ``N`` instances
-    spends per-object class/state records and a reconstruction call each,
-    while four flat tuples cost one container record apiece and let pickle's
+    The pipe-fallback transport (and the ``transport="pipe"`` mode): one
+    batched payload per worker per round instead of a list of
+    :class:`Message` dataclass instances — pickling ``N`` instances spends
+    per-object class/state records and a reconstruction call each, while
+    four flat tuples cost one container record apiece and let pickle's
     memo share the repeated senders, tags, and (for broadcast-style
     workloads) identical payload objects across the whole round.
     :func:`_unpack_messages` rebuilds equal ``Message`` objects on the
@@ -139,21 +150,57 @@ class _ShardState:
         return outputs, halted
 
 
-def _shard_worker(conn, vertices, factory, neighbor_map, n) -> None:
-    """Worker-process loop: step the shard once per parent request."""
+def _shard_worker(conn, vertices, factory, neighbor_map, n, channel) -> None:
+    """Worker-process loop: step the shard once per parent request.
+
+    ``channel`` is ``None`` for the pipe transport, or ``(down_block,
+    up_block, nodes, vertex_index)`` — the fork-inherited shared-memory
+    blocks plus the dense-id tables needed to decode deliveries and encode
+    outgoing traffic.  Replacement blocks (after overflow resizes) arrive
+    as descriptors in the round token and are attached by name.
+    """
+    down_reader = up_writer = None
     try:
         state = _ShardState(vertices, factory, neighbor_map, n)
+        if channel is not None:
+            down_block, up_block, nodes, vertex_index = channel
+            # The fork-inherited objects carry the parent's owner flag;
+            # only the parent unlinks, so disown them on this side.
+            down_block.owner = False
+            up_block.owner = False
+            down_reader = ColumnReader(down_block, nodes)
+            up_writer = ColumnWriter(up_block, vertex_index)
         conn.send(("ready", len(state.active), state.initial_halted))
         while True:
             request = conn.recv()
             if request[0] == _ROUND:
-                _, round_index, batch = request
+                _, round_index, part, new_down, new_up = request
+                if new_down is not None:
+                    down_reader.adopt(ColumnBlock.attach(new_down))
+                if new_up is not None:
+                    up_writer.adopt(ColumnBlock.attach(new_up))
+                if part[0] == "shm":
+                    down_reader.learn(part[2])
+                    deliveries = down_reader.decode(part[1])
+                else:
+                    deliveries = _unpack_messages(part[1])
                 outgoing, active, newly_halted = state.step(
-                    round_index, _unpack_messages(batch)
+                    round_index, deliveries
                 )
-                conn.send(
-                    ("stepped", _pack_messages(outgoing), active, newly_halted)
-                )
+                if up_writer is not None:
+                    encoded = up_writer.encode(outgoing)
+                    if encoded is not None:
+                        rows, _, new_tags = encoded
+                        reply_part = ("shm", rows, new_tags)
+                    else:
+                        # Overflow: ship this round over the pipe and tell
+                        # the parent how many rows a replacement needs.
+                        reply_part = (
+                            "pipe", _pack_messages(outgoing), len(outgoing)
+                        )
+                else:
+                    reply_part = ("pipe", _pack_messages(outgoing), None)
+                conn.send(("stepped", reply_part, active, newly_halted))
             elif request[0] == _FINISH:
                 conn.send(("outputs",) + state.finish())
                 return
@@ -163,11 +210,19 @@ def _shard_worker(conn, vertices, factory, neighbor_map, n) -> None:
         except Exception:
             pass
     finally:
+        if down_reader is not None:
+            down_reader.block.close()
+        if up_writer is not None:
+            up_writer.block.close()
         conn.close()
 
 
 class _InlineShard:
-    """Same protocol as a worker process, executed in the parent."""
+    """Same protocol as a worker process, executed in the parent.
+
+    Inline shards exchange the parent's ``Message`` objects directly —
+    no columnar packing, no shared memory, no pickling of any kind.
+    """
 
     def __init__(self, vertices, factory, neighbor_map, n):
         self.state = _ShardState(vertices, factory, neighbor_map, n)
@@ -185,14 +240,34 @@ class _InlineShard:
 
 
 class _ProcessShard:
-    """A forked worker process driven over a duplex pipe."""
+    """A forked worker process driven over a duplex pipe.
 
-    def __init__(self, context, vertices, factory, neighbor_map, n):
+    With ``transport="shm"`` the per-round message traffic crosses through
+    a pair of parent-owned shared-memory column blocks (one per direction)
+    and the pipe carries only control tokens; ``transport="pipe"`` keeps
+    everything on the pickled columnar batches.
+    """
+
+    def __init__(
+        self, context, vertices, factory, neighbor_map, n,
+        index: GraphIndex | None = None, transport: str = "pipe",
+    ):
         self.vertices = vertices
+        self.transport = transport if index is not None else "pipe"
+        self._down_writer: ColumnWriter | None = None
+        self._up_reader: ColumnReader | None = None
+        self._up_rows_needed = 0
+        channel = None
+        if self.transport == "shm":
+            down_block = ColumnBlock()
+            up_block = ColumnBlock()
+            self._down_writer = ColumnWriter(down_block, index.index)
+            self._up_reader = ColumnReader(up_block, index.nodes)
+            channel = (down_block, up_block, index.nodes, index.index)
         self._conn, child_conn = context.Pipe(duplex=True)
         self._process = context.Process(
             target=_shard_worker,
-            args=(child_conn, vertices, factory, neighbor_map, n),
+            args=(child_conn, vertices, factory, neighbor_map, n, channel),
             daemon=True,
         )
         self._process.start()
@@ -212,14 +287,58 @@ class _ProcessShard:
             raise RuntimeError(f"unexpected shard reply {reply[0]!r}")
         return reply[1:]
 
+    def _replace_up_block(self) -> tuple[str, int, int]:
+        """Provision a doubled worker->parent block after an overflow."""
+        old = self._up_reader.block
+        rows = max(old.rows_capacity * 2, self._up_rows_needed * 2)
+        replacement = ColumnBlock(rows, old.arena_capacity * 2)
+        self._up_reader.adopt(replacement)
+        old.unlink()
+        return replacement.descriptor()
+
     def begin_round(self, round_index: int, deliveries: list[Message]) -> None:
-        """Send the round's deliveries as one columnar batch (no reply yet)."""
-        self._conn.send((_ROUND, round_index, _pack_messages(deliveries)))
+        """Publish the round's deliveries and the go token (no reply yet)."""
+        if self.transport != "shm":
+            self._conn.send(
+                (_ROUND, round_index, ("pipe", _pack_messages(deliveries)),
+                 None, None)
+            )
+            return
+        new_up = self._replace_up_block() if self._up_rows_needed else None
+        self._up_rows_needed = 0
+        new_down = None
+        encoded = self._down_writer.encode(deliveries)
+        while encoded is None:
+            # Overflow: the parent owns both sides of the resize, so it
+            # simply doubles until the round fits and announces the
+            # replacement in the same token.
+            old = self._down_writer.block
+            replacement = ColumnBlock(
+                max(old.rows_capacity * 2, 2 * len(deliveries)),
+                old.arena_capacity * 2,
+            )
+            self._down_writer.adopt(replacement)
+            old.unlink()
+            new_down = replacement.descriptor()
+            encoded = self._down_writer.encode(deliveries)
+        rows, _, new_tags = encoded
+        self._conn.send(
+            (_ROUND, round_index, ("shm", rows, new_tags), new_down, new_up)
+        )
 
     def collect_round(self) -> tuple[list[Message], int, list[Hashable]]:
-        """Receive and unpack the round's (outgoing, active, newly_halted)."""
-        batch, active, newly_halted = self._expect("stepped")
-        return _unpack_messages(batch), active, newly_halted
+        """Receive the round's (outgoing, active, newly_halted)."""
+        part, active, newly_halted = self._expect("stepped")
+        if part[0] == "shm":
+            self._up_reader.learn(part[2])
+            messages = self._up_reader.decode(part[1])
+        else:
+            messages = _unpack_messages(part[1])
+            if self.transport == "shm" and part[2] is not None:
+                # The worker's block overflowed this round; remember the
+                # demand so the next begin_round provisions a replacement.
+                self._up_rows_needed = max(part[2], 1)
+        return messages, active, newly_halted
 
     def finish(self):
         self._conn.send((_FINISH,))
@@ -231,20 +350,44 @@ class _ProcessShard:
         try:
             self._conn.close()
         finally:
-            if self._process.is_alive():
-                self._process.terminate()
-                self._process.join(timeout=5)
+            try:
+                if self._process.is_alive():
+                    self._process.terminate()
+                    self._process.join(timeout=5)
+            finally:
+                for holder in (self._down_writer, self._up_reader):
+                    if holder is not None:
+                        block = holder.block
+                        block.close()
+                        block.unlink()
 
 
 @register_backend("sharded")
 class ShardedBackend(Backend):
-    """Multi-core backend: per-shard workers, per-round barrier sync."""
+    """Multi-core backend: per-shard workers, per-round barrier sync.
+
+    ``transport`` selects how message traffic crosses process boundaries:
+    ``"shm"`` (default) uses the shared-memory columnar blocks of
+    :mod:`repro.engine.shm` with the pipes reduced to control tokens,
+    ``"pipe"`` uses the PR 4 pickled columnar batches.  Hosts without
+    working POSIX shared memory fall back to ``"pipe"`` automatically.
+    """
 
     name = "sharded"
 
-    def __init__(self, num_workers: int | None = None, start_method: str = "fork"):
+    def __init__(
+        self,
+        num_workers: int | None = None,
+        start_method: str = "fork",
+        transport: str = "shm",
+    ):
+        if transport not in ("shm", "pipe"):
+            raise ValueError(
+                f"transport must be 'shm' or 'pipe'; got {transport!r}"
+            )
         self.num_workers = num_workers
         self.start_method = start_method
+        self.transport = transport
 
     def _resolve_workers(self, n: int) -> int:
         workers = self.num_workers
@@ -284,6 +427,13 @@ class ShardedBackend(Backend):
         use_processes = (
             workers > 1 and self.start_method in multiprocessing.get_all_start_methods()
         )
+        transport = self.transport
+        if transport == "shm" and (
+            self.start_method != "fork" or not shared_memory_available()
+        ):
+            # The shm blocks rely on fork inheritance (and on fork's shared
+            # resource tracker for replacement-block attachment).
+            transport = "pipe"
         # Contiguous blocks in graph.nodes order: concatenating shard
         # responses in shard order reproduces the reference simulator's
         # global vertex iteration order.
@@ -298,7 +448,10 @@ class ShardedBackend(Backend):
                 context = multiprocessing.get_context(self.start_method)
                 for part in partitions:
                     shards.append(
-                        _ProcessShard(context, part, factory, neighbor_map, n)
+                        _ProcessShard(
+                            context, part, factory, neighbor_map, n,
+                            index=index, transport=transport,
+                        )
                     )
             else:
                 for part in partitions:
@@ -344,15 +497,17 @@ class ShardedBackend(Backend):
                     halted_vertices.update(newly_halted)
                 next_deliveries = [[] for _ in shards]
 
+                outgoing_words: list[int] = []
                 for message in outgoing:
                     if not index.has_edge(message.sender, message.receiver):
                         raise ValueError(
                             f"vertex {message.sender!r} attempted to send to "
                             f"non-neighbour {message.receiver!r}"
                         )
-                    scheduler.schedule(
-                        message, round_index, payload_words(message, n, words_cache)
-                    )
+                    outgoing_words.append(payload_words(message, n, words_cache))
+                # Bulk enqueue: one transmit-mask prefix-sum query per round
+                # instead of a per-message decision replay.
+                scheduler.schedule_messages(outgoing, outgoing_words, round_index)
                 delivered, words_crossed = scheduler.deliver(round_index)
                 dropped = 0
                 for message in delivered:

@@ -1,0 +1,270 @@
+"""Shared-memory columnar transport for the sharded backend.
+
+PR 4 reduced the sharded backend's per-round pipe traffic to one pickled
+columnar batch per worker per round.  This module removes the pickling and
+the kernel copy for the bulk of that traffic: each parent <-> worker
+direction owns a :class:`ColumnBlock` — a ``multiprocessing.shared_memory``
+segment holding five dense ``int64`` columns (sender id, receiver id, tag
+id, payload offset, payload length) plus a byte *arena* for pickled
+payloads — and the pipe carries only a tiny control token per round
+("round ready, N rows, M arena bytes", plus intern-table and resize
+bookkeeping).  Because the sharded backend's request/response pipe pair
+*is* the round barrier, a single buffer per direction suffices (a ring of
+size one): the writer never touches the block again until the reader's
+reply has been received.
+
+Design points:
+
+* **Vertices and tags as integers.**  Senders/receivers cross as the dense
+  vertex ids of the run's :class:`~repro.engine.delivery.GraphIndex`
+  (workers inherit the node table through ``fork``).  Tags cross as ids
+  into an intern table that each writer grows lazily; newly interned tag
+  strings ride the control token exactly once, so steady-state rounds move
+  no strings at all.
+* **Payload arena with per-round dedupe.**  Broadcast-style workloads send
+  one payload object to many receivers; the writer pickles each distinct
+  object once per round and points every row at the same arena span.  The
+  reader mirrors the dedupe, reconstructing one object per span — the same
+  sharing pickle's memo gave the old pipe batches.  Plain ``int`` payloads
+  skip the arena entirely and ride in the offset column (length ``-1``).
+* **Parent-owned segments.**  Every shared-memory segment is created — and
+  eventually unlinked — by the parent, which keeps cleanup single-sided.
+  When a round overflows a block, the writer falls back to returning the
+  batch for pipe transport (one extra pickled round) and the parent
+  provisions a doubled replacement; workers attach replacements by name.
+
+``fork`` inheritance means the initial blocks need no name-based attach at
+all, and replacement blocks attached by name stay inside the parent's
+(shared) resource tracker — which is why the sharded backend enables this
+transport only under the ``fork`` start method.
+"""
+
+from __future__ import annotations
+
+import pickle
+from multiprocessing import shared_memory
+from typing import Hashable, Sequence
+
+import numpy as np
+
+from repro.congest.message import Message
+
+# Columns of the row table.
+_SENDER, _RECEIVER, _TAG, _PAYLOAD_A, _PAYLOAD_B = range(5)
+_COLUMNS = 5
+# ``payload length`` sentinel: the offset column holds the payload itself
+# (a plain machine-word int), no arena bytes involved.
+_INLINE_INT = -1
+
+DEFAULT_ROWS = 1024
+DEFAULT_ARENA = 1 << 18  # 256 KiB
+
+
+class ColumnBlock:
+    """One direction's shared columnar region: row table + payload arena."""
+
+    def __init__(
+        self,
+        rows_capacity: int | None = None,
+        arena_capacity: int | None = None,
+        name: str | None = None,
+    ):
+        # Defaults resolve at call time so tests can shrink the module
+        # constants and exercise the overflow/resize protocol cheaply.
+        self.rows_capacity = rows_capacity if rows_capacity is not None else DEFAULT_ROWS
+        self.arena_capacity = (
+            arena_capacity if arena_capacity is not None else DEFAULT_ARENA
+        )
+        rows_capacity = self.rows_capacity
+        arena_capacity = self.arena_capacity
+        table_bytes = rows_capacity * _COLUMNS * 8
+        if name is None:
+            self.segment = shared_memory.SharedMemory(
+                create=True, size=table_bytes + arena_capacity
+            )
+            self.owner = True
+        else:
+            # Attaching by name only ever happens in fork-started workers,
+            # which share the parent's resource-tracker process: CPython's
+            # register-on-attach (< 3.13) is then a set re-add in the one
+            # shared tracker, and the parent's eventual unlink unregisters
+            # it exactly once.  (A spawn-side attach would need the
+            # unregister workaround — the sharded backend restricts the
+            # shm transport to ``fork`` for this reason.)
+            self.segment = shared_memory.SharedMemory(name=name)
+            self.owner = False
+        self.rows = np.ndarray(
+            (rows_capacity, _COLUMNS), dtype=np.int64, buffer=self.segment.buf
+        )
+        self.arena = self.segment.buf[table_bytes : table_bytes + arena_capacity]
+
+    def descriptor(self) -> tuple[str, int, int]:
+        """What the other side needs to attach: (name, rows, arena bytes)."""
+        return (self.segment.name, self.rows_capacity, self.arena_capacity)
+
+    @classmethod
+    def attach(cls, descriptor: tuple[str, int, int]) -> "ColumnBlock":
+        name, rows_capacity, arena_capacity = descriptor
+        return cls(rows_capacity, arena_capacity, name=name)
+
+    def close(self) -> None:
+        # Release the buffer views before closing the mapping, or CPython
+        # refuses with "cannot close exported pointers exist".
+        self.rows = None
+        self.arena = None
+        try:
+            self.segment.close()
+        except Exception:  # pragma: no cover - teardown best-effort
+            pass
+
+    def unlink(self) -> None:
+        if self.owner:
+            try:
+                self.segment.unlink()
+            except Exception:  # pragma: no cover - teardown best-effort
+                pass
+
+
+class ColumnWriter:
+    """Encodes one round's messages into a :class:`ColumnBlock`.
+
+    ``index`` maps vertex identifiers to dense ids (the run's
+    :class:`~repro.engine.delivery.GraphIndex` ``index`` dict).  The tag
+    intern table grows transactionally: a batch that overflows the block
+    leaves the table untouched, so the pipe-fallback round cannot desync
+    the reader.
+    """
+
+    def __init__(self, block: ColumnBlock, index: dict[Hashable, int]):
+        self.block = block
+        self.index = index
+        self._tag_ids: dict[str, int] = {}
+
+    def adopt(self, block: ColumnBlock) -> None:
+        """Switch to a replacement block (after an overflow resize)."""
+        self.block.close()
+        self.block = block
+
+    def encode(
+        self, messages: Sequence[Message]
+    ) -> tuple[int, int, list[str]] | None:
+        """Write ``messages`` into the block's columns and arena.
+
+        Returns ``(rows, arena_bytes, new_tags)`` on success, or ``None``
+        when the batch does not fit (the caller then ships this round over
+        the pipe and provisions a bigger block).  ``new_tags`` lists tag
+        strings interned by this batch, in id order — the reader appends
+        them to its table before decoding.
+        """
+        block = self.block
+        if len(messages) > block.rows_capacity:
+            return None
+        rows = block.rows
+        arena = block.arena
+        arena_capacity = block.arena_capacity
+        index = self.index
+        tag_ids = self._tag_ids
+        staged_tags: dict[str, int] = {}
+        seen_payloads: dict[int, tuple[int, int]] = {}
+        cursor = 0
+        for position, message in enumerate(messages):
+            row = rows[position]
+            receiver_id = index.get(message.receiver)
+            if receiver_id is None:
+                # A receiver that is no vertex at all would otherwise crash
+                # with a bare KeyError here (the parent's adjacency check
+                # only sees traffic that made it across); raise the
+                # engine's standard diagnostic instead, identical to every
+                # other backend and transport.
+                raise ValueError(
+                    f"vertex {message.sender!r} attempted to send to "
+                    f"non-neighbour {message.receiver!r}"
+                )
+            row[_SENDER] = index[message.sender]
+            row[_RECEIVER] = receiver_id
+            tag = message.tag
+            tag_id = tag_ids.get(tag)
+            if tag_id is None:
+                tag_id = staged_tags.get(tag)
+                if tag_id is None:
+                    tag_id = len(tag_ids) + len(staged_tags)
+                    staged_tags[tag] = tag_id
+            row[_TAG] = tag_id
+            payload = message.payload
+            if type(payload) is int and -(2**62) < payload < 2**62:
+                row[_PAYLOAD_A] = payload
+                row[_PAYLOAD_B] = _INLINE_INT
+                continue
+            span = seen_payloads.get(id(payload))
+            if span is None:
+                blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+                length = len(blob)
+                if cursor + length > arena_capacity:
+                    return None  # staged tags are discarded: transactional
+                arena[cursor : cursor + length] = blob
+                span = (cursor, length)
+                cursor += length
+                seen_payloads[id(payload)] = span
+            row[_PAYLOAD_A], row[_PAYLOAD_B] = span
+        tag_ids.update(staged_tags)
+        return len(messages), cursor, list(staged_tags)
+
+
+class ColumnReader:
+    """Decodes a round's rows from a :class:`ColumnBlock` into messages."""
+
+    def __init__(self, block: ColumnBlock, nodes: Sequence[Hashable]):
+        self.block = block
+        self.nodes = nodes
+        self._tags: list[str] = []
+
+    def adopt(self, block: ColumnBlock) -> None:
+        self.block.close()
+        self.block = block
+
+    def learn(self, new_tags: Sequence[str]) -> None:
+        """Append tags the writer interned this round (id order)."""
+        self._tags.extend(new_tags)
+
+    def decode(self, row_count: int) -> list[Message]:
+        block = self.block
+        table = block.rows[:row_count]
+        arena = block.arena
+        nodes = self.nodes
+        tags = self._tags
+        span_cache: dict[tuple[int, int], object] = {}
+        out: list[Message] = []
+        for row in table:
+            offset = int(row[_PAYLOAD_A])
+            length = int(row[_PAYLOAD_B])
+            if length == _INLINE_INT:
+                payload: object = offset
+            else:
+                span = (offset, length)
+                payload = span_cache.get(span, span_cache)
+                if payload is span_cache:  # miss sentinel
+                    payload = pickle.loads(bytes(arena[offset : offset + length]))
+                    span_cache[span] = payload
+            out.append(
+                Message(
+                    nodes[int(row[_SENDER])],
+                    nodes[int(row[_RECEIVER])],
+                    tags[int(row[_TAG])],
+                    payload,
+                )
+            )
+        return out
+
+
+def shared_memory_available() -> bool:
+    """Whether POSIX shared memory actually works on this host."""
+    try:
+        probe = shared_memory.SharedMemory(create=True, size=8)
+    except Exception:  # pragma: no cover - platform-dependent
+        return False
+    probe.close()
+    try:
+        probe.unlink()
+    except Exception:  # pragma: no cover - teardown best-effort
+        pass
+    return True

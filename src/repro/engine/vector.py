@@ -17,7 +17,11 @@ returns a :class:`VectorSends` batch (dense sender / receiver / payload-word
 arrays), which the engine validates in bulk and feeds straight into the
 existing :class:`~repro.engine.delivery.WordScheduler` — so bandwidth
 semantics, word accounting, and delivery scenarios are byte-identical to the
-per-vertex backends.
+per-vertex backends.  Faulty scenarios stay on the array path end to end:
+every built-in scenario exposes a batch ``transmit_mask`` kernel, and the
+scheduler turns it into per-edge prefix sums, so link drops, bursts, and
+heterogeneous bandwidth cost numpy passes rather than per-(edge, round)
+Python replay.
 
 Every :class:`VectorAlgorithm` subclass declares a ``per_vertex`` twin — the
 equivalent :class:`~repro.congest.vertex.VertexAlgorithm` factory — so the

@@ -83,6 +83,8 @@ class VectorizedBackend(Backend):
                 break
             rounds_executed += 1
             words_cache.clear()
+            outgoing: list = []
+            outgoing_words: list[int] = []
             for vertex in active:
                 algorithm = algorithms[vertex]
                 sent = algorithm.on_round(round_index, inboxes[vertex])
@@ -98,9 +100,12 @@ class VectorizedBackend(Backend):
                             f"vertex {vertex!r} attempted to send to non-neighbour "
                             f"{message.receiver!r}"
                         )
-                    scheduler.schedule(
-                        message, round_index, payload_words(message, n, words_cache)
-                    )
+                    outgoing.append(message)
+                    outgoing_words.append(payload_words(message, n, words_cache))
+            # One bulk enqueue per round: completion rounds for the whole
+            # batch come from a single transmit-mask prefix-sum query, so
+            # faulty kernel scenarios schedule as fast as clean ones.
+            scheduler.schedule_messages(outgoing, outgoing_words, round_index)
             delivered, words_crossed = scheduler.deliver(round_index)
             dropped = 0
             for message in delivered:

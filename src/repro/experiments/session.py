@@ -121,8 +121,35 @@ class RunResult:
             self.output_digest,
         )
 
+    @property
+    def best_seconds(self) -> float:
+        """Fastest repeat's wall clock (0.0 when nothing was timed)."""
+        return min(self.seconds) if self.seconds else 0.0
+
+    @property
+    def words_per_second(self) -> float:
+        """Delivered words per wall-clock second (the throughput measure).
+
+        Faulty scenarios stretch rounds, so raw wall clock conflates engine
+        overhead with scenario physics; words/second measures how fast the
+        engine pushes the same payload volume through.  See also
+        :attr:`rounds_per_second` for the per-round execution rate.
+        """
+        best = self.best_seconds
+        return self.words / best if best > 0 else 0.0
+
+    @property
+    def rounds_per_second(self) -> float:
+        """Executed rounds per wall-clock second (engine execution rate)."""
+        best = self.best_seconds
+        return self.rounds / best if best > 0 else 0.0
+
     def to_row(self) -> dict[str, Any]:
-        """A JSON-ready row in the ``BENCH_*.json`` style."""
+        """A JSON-ready row in the ``BENCH_*.json`` style.
+
+        Wall-clock-derived fields (``seconds``, ``words_per_second``,
+        ``rounds_per_second``) are excluded from :meth:`ResultSet.digest`.
+        """
         return {
             "n": self.n,
             "edges": self.edges,
@@ -137,6 +164,8 @@ class RunResult:
             "dropped": self.dropped,
             "halted": self.halted,
             "seconds": [round(s, 6) for s in self.seconds],
+            "words_per_second": round(self.words_per_second, 1),
+            "rounds_per_second": round(self.rounds_per_second, 1),
             "output_digest": self.output_digest,
         }
 
@@ -172,7 +201,11 @@ class ResultSet:
         rows = []
         for result in self.results:
             row = result.to_row()
+            # Every wall-clock-derived field must stay out of the digest:
+            # two executions of the same spec on different machines agree.
             del row["seconds"]
+            del row["words_per_second"]
+            del row["rounds_per_second"]
             rows.append(row)
         blob = json.dumps(rows, sort_keys=True, default=repr)
         return hashlib.sha256(blob.encode()).hexdigest()[:16]

@@ -468,3 +468,118 @@ class TestComposableScenarios:
         results = Session().grid(spec, backends=ALL_BACKENDS)
         results.check_backend_agreement()
         assert len(results) == 3
+
+
+class TestComposedScenarioSpecs:
+    """ComposedScenario trees as plain-JSON spec parameters."""
+
+    NESTED_PARAMS = {
+        "op": "overlay",
+        "children": [
+            {"name": "link-drop", "params": {"drop_probability": 0.15}},
+            {
+                "op": "sequential",
+                "children": [
+                    {"name": "clean", "params": {}},
+                    {"name": "bursty", "params": {"burst_length": 2, "period": 8}},
+                ],
+                "durations": [40],
+            },
+        ],
+    }
+
+    def _spec(self, **overrides):
+        kwargs = dict(
+            **{**SPEC_KWARGS, "seeds": (0,)},
+            scenario="composed",
+            scenario_params=dict(self.NESTED_PARAMS),
+        )
+        kwargs.update(overrides)
+        return ExperimentSpec(**kwargs)
+
+    def test_json_round_trip_and_execution(self):
+        spec = self._spec()
+        payload = json.loads(json.dumps(spec.to_json()))
+        assert ExperimentSpec.from_json(payload) == spec
+        result = Session().run(spec)
+        assert result.halted
+        assert result.scenario.startswith("Composed[overlay]")
+
+    def test_composed_cells_agree_across_backends(self):
+        results = Session().grid(self._spec(), backends=ALL_BACKENDS)
+        results.check_backend_agreement()
+        assert len(results) == 3
+
+    def test_sweep_seed_reaches_composed_children(self):
+        spec = self._spec(seeds=(0, 1))
+        results = Session().sweep(spec)
+        by_seed = {result.seed: result for result in results}
+        # The sweep seed is injected into every child that accepts one and
+        # does not pin its own, so the two cells run different randomness.
+        assert "seed=0" in by_seed[0].scenario
+        assert "seed=1" in by_seed[1].scenario
+        built = [
+            spec._build_scenario(seed=seed) for seed in (0, 1)
+        ]
+        edge = (0, 1)
+        decisions = [
+            [scenario.transmits(edge, r) for r in range(200)]
+            for scenario in built
+        ]
+        assert decisions[0] != decisions[1]
+
+    def test_invalid_trees_fail_eagerly_at_spec_construction(self):
+        with pytest.raises(ValueError, match="parameter-driven"):
+            self._spec(scenario_params={"op": "overlay", "children": []})
+        with pytest.raises(ValueError, match="unknown scenario"):
+            self._spec(
+                scenario_params={"op": "overlay", "children": ["solar-flare"]}
+            )
+        with pytest.raises(ValueError, match="'name' or 'op'"):
+            self._spec(
+                scenario_params={"op": "overlay", "children": [{"params": {}}]}
+            )
+        # A typo'd key must not silently build a default-configured child.
+        with pytest.raises(ValueError, match="unknown keys.*parms"):
+            self._spec(
+                scenario_params={
+                    "op": "overlay",
+                    "children": [
+                        {"name": "link-drop", "parms": {"drop_probability": 0.9}}
+                    ],
+                }
+            )
+        with pytest.raises(ValueError, match="unknown keys.*childs"):
+            self._spec(
+                scenario_params={
+                    "op": "overlay",
+                    "children": [{"op": "sequential", "childs": ["clean"]}],
+                }
+            )
+
+    def test_spec_params_exports_a_live_tree(self):
+        from repro.engine import build_composed
+
+        live = ComposedScenario.sequential(
+            ("clean", 30), (LinkDropScenario(0.2, seed=6), None)
+        )
+        params = live.spec_params()
+        spec = self._spec(scenario_params=params)
+        assert ExperimentSpec.from_json(spec.to_json()) == spec
+        rebuilt = build_composed(**params)
+        edges = [(0, 1), (1, 2)]
+        live.bind_edges(edges)
+        rebuilt.bind_edges(edges)
+        for edge in edges:
+            for round_index in range(80):
+                assert live.transmits(edge, round_index) == rebuilt.transmits(
+                    edge, round_index
+                )
+
+    def test_unregistered_part_refuses_to_serialise(self):
+        class Anonymous(CleanSynchronous):
+            name = ""
+            is_clean = False
+
+        with pytest.raises(ValueError, match="not a registered"):
+            ComposedScenario.overlay(Anonymous()).spec_params()
