@@ -1,0 +1,211 @@
+"""E16 — Tracing overhead: the null tracer must be free, recording cheap.
+
+The observability layer (:mod:`repro.obs`) threads a tracer through every
+engine hot loop.  Its contract is that an *untraced* run pays one
+``tracer.enabled`` attribute check per round and nothing else — so the
+engine with the tracing layer compiled in must run the same cell at the
+same speed with and without a :class:`~repro.obs.NullTracer` installed.
+This experiment pins that contract on the distributed-listing workload
+(the E14 cell): interleaved repeats of the untraced and null-traced
+sessions, best-of comparison, overhead asserted below the budget — and
+the result digests of every configuration must be bit-identical, with
+per-cell reference agreement checked through the ordinary grid path.
+
+Run standalone (writes BENCH_e16.json at the repo root by default)::
+
+    PYTHONPATH=src python benchmarks/bench_e16_trace_overhead.py
+    PYTHONPATH=src python benchmarks/bench_e16_trace_overhead.py --smoke
+    PYTHONPATH=src python benchmarks/bench_e16_trace_overhead.py \
+        --smoke --trace-dir traces/
+
+``--trace-dir`` additionally runs one fully traced execution and writes
+``trace.jsonl`` (the structured event stream) plus ``trace_chrome.json``
+(load it in https://ui.perfetto.dev) — the CI tier-2 job uploads both as
+workflow artifacts.  Or through the pytest-benchmark harness::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_e16_trace_overhead.py -q
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import common  # noqa: F401  (registers the 'listing-workload' graph source)
+from repro.experiments import ExperimentSpec, Session
+from repro.obs import (
+    JsonlTracer,
+    NullTracer,
+    read_jsonl_events,
+    write_chrome_trace,
+)
+
+#: Maximum tolerated slowdown of a null-traced run vs an untraced run, in
+#: percent of the untraced best-of time.  The null tracer's only cost is
+#: one attribute check per round, so 3% is generous headroom for noise.
+OVERHEAD_LIMIT_PCT = 3.0
+
+
+def build_spec(n: int, seed: int = 7, max_rounds: int = 200_000) -> ExperimentSpec:
+    """The E14 listing cell, reused as the overhead workload."""
+    return ExperimentSpec(
+        name="e16-trace-overhead",
+        graph="listing-workload",
+        graph_params={"n": n},
+        workload="distributed-listing",
+        backend="vectorized",
+        seeds=(seed,),
+        max_rounds=max_rounds,
+    )
+
+
+def run_experiment(n: int, seed: int = 7, repeats: int = 5) -> dict:
+    """Interleaved untraced / null-traced timings plus invariance checks."""
+    spec = build_spec(n, seed=seed)
+
+    # Interleaved repeats: alternating the two configurations spreads any
+    # machine-load drift evenly over both, and best-of filters the rest.
+    untraced: list[float] = []
+    null_traced: list[float] = []
+    digests: set[str] = set()
+    for _ in range(repeats):
+        for tracer, bucket in ((None, untraced), (NullTracer(), null_traced)):
+            session = Session(name="e16-trace-overhead", tracer=tracer)
+            start = time.perf_counter()
+            results = session.sweep(spec)
+            bucket.append(time.perf_counter() - start)
+            digests.add(results.digest())
+    if len(digests) != 1:
+        raise AssertionError(
+            f"null-traced and untraced digests differ: {sorted(digests)}"
+        )
+
+    # The equivalence contract stays intact under the tracing layer: the
+    # same cell on the reference backend must agree exactly.
+    agreement = Session(name="e16-agreement").grid(
+        spec, backends=["reference", "vectorized"]
+    )
+    agreement.check_backend_agreement()
+
+    best_untraced = min(untraced)
+    best_null = min(null_traced)
+    overhead_pct = (best_null - best_untraced) / best_untraced * 100.0
+    return {
+        "experiment": "E16 tracing overhead (null tracer vs untraced)",
+        "workload": (
+            "distributed-listing on the vectorized backend; interleaved "
+            "best-of repeats; digests bit-identical; reference agreement "
+            "checked per cell"
+        ),
+        "n": n,
+        "seed": seed,
+        "repeats": repeats,
+        "seconds_untraced": [round(s, 6) for s in untraced],
+        "seconds_null_tracer": [round(s, 6) for s in null_traced],
+        "best_untraced": round(best_untraced, 6),
+        "best_null_tracer": round(best_null, 6),
+        "overhead_pct": round(overhead_pct, 3),
+        "overhead_limit_pct": OVERHEAD_LIMIT_PCT,
+        "digest": digests.pop(),
+    }
+
+
+def export_traces(n: int, seed: int, trace_dir: Path) -> list[Path]:
+    """One fully traced run; writes the JSONL stream and a Chrome trace."""
+    trace_dir.mkdir(parents=True, exist_ok=True)
+    jsonl_path = trace_dir / "trace.jsonl"
+    spec = build_spec(n, seed=seed)
+    with JsonlTracer(jsonl_path) as tracer:
+        Session(name="e16-traced", tracer=tracer).sweep(spec)
+    chrome_path = write_chrome_trace(
+        read_jsonl_events(jsonl_path), trace_dir / "trace_chrome.json"
+    )
+    return [jsonl_path, chrome_path]
+
+
+def render(report: dict) -> str:
+    lines = [
+        f"E16: tracing overhead on the listing cell (n={report['n']}, "
+        f"best of {report['repeats']})",
+        f"  untraced     best {report['best_untraced']:.3f}s  "
+        f"all {report['seconds_untraced']}",
+        f"  null tracer  best {report['best_null_tracer']:.3f}s  "
+        f"all {report['seconds_null_tracer']}",
+        f"  overhead {report['overhead_pct']:+.2f}%  "
+        f"(limit {report['overhead_limit_pct']:.1f}%)",
+        f"  digest {report['digest']} (identical across configurations; "
+        f"reference agreement ok)",
+    ]
+    return "\n".join(lines)
+
+
+def check(report: dict) -> None:
+    if report["overhead_pct"] > report["overhead_limit_pct"]:
+        raise AssertionError(
+            f"null tracer overhead {report['overhead_pct']:.2f}% exceeds "
+            f"the {report['overhead_limit_pct']:.1f}% budget"
+        )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=1000)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        help=(
+            "where to write the JSON report ('-' to skip; default: the "
+            "committed BENCH_e16.json, skipped under --smoke)"
+        ),
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="200-vertex configuration only (the CI tier-2 job)",
+    )
+    parser.add_argument(
+        "--trace-dir",
+        type=Path,
+        default=None,
+        help="also run one fully traced execution and write trace.jsonl "
+        "+ trace_chrome.json into this directory",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        args.n = 200
+    report = run_experiment(args.n, seed=args.seed, repeats=args.repeats)
+    print(render(report))
+    check(report)
+    if args.trace_dir is not None:
+        for path in export_traces(args.n, args.seed, args.trace_dir):
+            print(f"wrote {path}")
+    json_path = args.json
+    if json_path is None and not args.smoke:
+        json_path = Path(__file__).resolve().parent.parent / "BENCH_e16.json"
+    if json_path is not None and str(json_path) != "-":
+        json_path.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"\nwrote {json_path}")
+    return 0
+
+
+def test_e16_trace_overhead(benchmark, print_section):
+    """pytest-benchmark harness entry, small size to keep the suite fast."""
+    from conftest import run_once
+
+    report = run_once(benchmark, lambda: run_experiment(120, repeats=3))
+    print_section(render(report))
+    # Digest identity and reference agreement are asserted inside
+    # run_experiment; the timing budget is only meaningful on the full-size
+    # cell (a 120-vertex cell is noise-dominated), so it is not gated here.
+    assert report["best_untraced"] > 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,6 +24,10 @@ The public API re-exports the main entry points:
   ``on_round`` call steps all vertices on numpy arrays, eliminating Python
   per-vertex dispatch for array-friendly workloads while the same class
   still runs per-vertex (via its ``per_vertex`` twin) on every backend.
+* :class:`repro.Tracer` / :class:`repro.RecordingTracer` /
+  :class:`repro.JsonlTracer` -- the observability layer
+  (:mod:`repro.obs`): structured per-round engine traces, per-layer time
+  budgets, Chrome-trace export, and the trace-diff divergence debugger.
 * :mod:`repro.graphs` -- workload generators and structural utilities.
 * :mod:`repro.congest`, :mod:`repro.decomposition`, :mod:`repro.streaming`,
   :mod:`repro.partition_trees` -- the substrates the algorithms are built on.
@@ -48,11 +52,16 @@ from repro.listing.validation import CoverageReport, DistributedValidationReport
 from repro.engine import VectorAlgorithm
 from repro.engine import run_algorithm as run_on_engine
 from repro.experiments import ExperimentSpec, ResultSet, RunResult, Session
+from repro.obs import JsonlTracer, NullTracer, RecordingTracer, Tracer
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "VectorAlgorithm",
+    "Tracer",
+    "NullTracer",
+    "RecordingTracer",
+    "JsonlTracer",
     "ExperimentSpec",
     "Session",
     "RunResult",

@@ -25,6 +25,7 @@ class CongestMetrics:
             since a halted vertex can never consume its inbox.
         phase_rounds: rounds attributed to named protocol phases.
         phase_messages: messages attributed to named protocol phases.
+        phase_dropped: dropped messages attributed to named protocol phases.
     """
 
     rounds: int = 0
@@ -33,6 +34,7 @@ class CongestMetrics:
     dropped: int = 0
     phase_rounds: dict[str, int] = field(default_factory=lambda: defaultdict(int))
     phase_messages: dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    phase_dropped: dict[str, int] = field(default_factory=lambda: defaultdict(int))
 
     def add_rounds(self, rounds: int, phase: str = "unattributed") -> None:
         """Charge ``rounds`` synchronous rounds to ``phase``."""
@@ -50,14 +52,11 @@ class CongestMetrics:
         self.phase_messages[phase] += messages
 
     def add_dropped(self, dropped: int, phase: str = "unattributed") -> None:
-        """Charge ``dropped`` messages discarded at halted receivers.
-
-        The ``phase`` argument is accepted for signature symmetry with the
-        other counters; dropped messages are tracked as a single total.
-        """
+        """Charge ``dropped`` messages discarded at halted receivers to ``phase``."""
         if dropped < 0:
             raise ValueError(f"cannot charge a negative number of drops: {dropped}")
         self.dropped += dropped
+        self.phase_dropped[phase] += dropped
 
     def merge(self, other: "CongestMetrics") -> None:
         """Fold the counters of ``other`` into this object."""
@@ -69,6 +68,8 @@ class CongestMetrics:
             self.phase_rounds[phase] += value
         for phase, value in other.phase_messages.items():
             self.phase_messages[phase] += value
+        for phase, value in other.phase_dropped.items():
+            self.phase_dropped[phase] += value
 
     def snapshot(self) -> dict[str, int]:
         """A plain-dict summary, convenient for benchmark reporting."""
@@ -86,3 +87,4 @@ class CongestMetrics:
         self.dropped = 0
         self.phase_rounds.clear()
         self.phase_messages.clear()
+        self.phase_dropped.clear()

@@ -15,6 +15,7 @@ the asymptotic scaling experiments use :mod:`repro.congest.cost`.
 
 from __future__ import annotations
 
+import time
 from collections import defaultdict, deque
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Hashable, Iterable
@@ -28,6 +29,7 @@ from repro.congest.vertex import VertexAlgorithm, VertexFactory
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from repro.engine.backend import Backend
     from repro.engine.scenarios import DeliveryScenario
+    from repro.obs.tracer import Tracer
 
 
 @dataclass
@@ -64,6 +66,7 @@ class CongestNetwork:
         graph: nx.Graph,
         metrics: CongestMetrics | None = None,
         scenario: "DeliveryScenario | None" = None,
+        tracer: "Tracer | None" = None,
     ):
         if graph.number_of_nodes() == 0:
             raise ValueError("cannot build a CONGEST network over an empty graph")
@@ -73,8 +76,16 @@ class CongestNetwork:
         # Optional delivery model (repro.engine.scenarios); None is the
         # clean synchronous CONGEST model and skips the per-edge query.
         self.scenario = scenario
+        if tracer is None:
+            from repro.obs.tracer import NULL_TRACER
+
+            tracer = NULL_TRACER
+        self.tracer = tracer
         # Per directed edge FIFO of outstanding word fragments.
         self._edge_queues: dict[tuple[Hashable, Hashable], deque] = defaultdict(deque)
+        # Scenario-blocked edge count of the last executed round (an
+        # observability detail of _deliver_one_round, not an API).
+        self._last_blocked = 0
 
     # -- driving an algorithm ------------------------------------------------
 
@@ -104,12 +115,23 @@ class CongestNetwork:
         }
         inboxes: dict[Hashable, list[Message]] = {v: [] for v in algorithms}
         self._edge_queues.clear()
+        tracer = self.tracer
+        traced = tracer.enabled
 
         rounds_executed = 0
         for round_index in range(max_rounds):
             if all(alg.halted for alg in algorithms.values()) and not self._has_pending():
                 break
             rounds_executed += 1
+            if traced:
+                round_start = time.perf_counter()
+                tracer.round_begin(
+                    round_index,
+                    active=sum(
+                        1 for alg in algorithms.values() if not alg.halted
+                    ),
+                    pending=len(self._edge_queues),
+                )
             outgoing: list[Message] = []
             for vertex, algorithm in algorithms.items():
                 if algorithm.halted:
@@ -128,6 +150,11 @@ class CongestNetwork:
                         )
                     outgoing.append(message)
 
+            if traced:
+                compute_done = time.perf_counter()
+                tracer.span_add(
+                    "compute", compute_done - round_start, round_index
+                )
             self._enqueue(outgoing)
             delivered, words_crossed = self._deliver_one_round(round_index)
             dropped = 0
@@ -142,6 +169,31 @@ class CongestNetwork:
                 self.metrics.add_dropped(dropped, phase=phase)
             self.metrics.add_rounds(1, phase=phase)
             self.metrics.add_messages(len(delivered), phase=phase, words=words_crossed)
+            if traced:
+                now = time.perf_counter()
+                tracer.span_add("deliver", now - compute_done, round_index)
+                # A message defers when its last word does not cross in the
+                # round it was sent — the same definition the batch
+                # scheduler reports (completion round > enqueue round).
+                sent_ids = {id(m) for m in outgoing}
+                completed_now = sum(
+                    1 for m in delivered if id(m) in sent_ids
+                )
+                tracer.messages_scheduled(
+                    round_index,
+                    count=len(outgoing),
+                    deferred=len(outgoing) - completed_now,
+                )
+                if self._last_blocked:
+                    tracer.edges_blocked(round_index, self._last_blocked)
+                tracer.messages_delivered(round_index, delivered)
+                tracer.round_end(
+                    round_index,
+                    delivered=len(delivered),
+                    words=words_crossed,
+                    dropped=dropped,
+                    seconds=now - round_start,
+                )
         else:
             rounds_executed = max_rounds
 
@@ -180,10 +232,12 @@ class CongestNetwork:
         """
         delivered: list[Message] = []
         words_crossed = 0
+        blocked = 0
         drained: list[tuple[Hashable, Hashable]] = []
         scenario = self.scenario
         for edge, queue in self._edge_queues.items():
             if scenario is not None and not scenario.transmits(edge, round_index):
+                blocked += 1
                 continue
             item = queue.popleft()
             words_crossed += 1
@@ -193,6 +247,7 @@ class CongestNetwork:
                 drained.append(edge)
         for edge in drained:
             del self._edge_queues[edge]
+        self._last_blocked = blocked
         return delivered, words_crossed
 
     def _has_pending(self) -> bool:

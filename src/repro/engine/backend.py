@@ -20,6 +20,7 @@ import networkx as nx
 from repro.congest.metrics import CongestMetrics
 from repro.congest.vertex import VertexFactory
 from repro.engine.scenarios import DeliveryScenario
+from repro.obs.tracer import Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.congest.network import SynchronousRun
@@ -46,6 +47,7 @@ class Backend(ABC):
         phase: str = "simulated",
         metrics: CongestMetrics | None = None,
         scenario: DeliveryScenario | None = None,
+        tracer: Tracer | None = None,
     ) -> "SynchronousRun":
         """Drive ``factory`` on every vertex of ``graph`` to termination.
 
@@ -56,6 +58,10 @@ class Backend(ABC):
             phase: metrics phase rounds and messages are charged to.
             metrics: counter object to update (a fresh one when ``None``).
             scenario: delivery model; ``None`` means clean synchronous.
+            tracer: observability sink (:mod:`repro.obs`); ``None`` means
+                untraced.  Tracing must never perturb the execution — a
+                traced run produces bit-identical results to an untraced
+                one.
 
         Returns:
             A :class:`~repro.congest.network.SynchronousRun`.

@@ -33,6 +33,7 @@ import numpy as np
 
 from repro.congest.message import Message, words_for_payload
 from repro.engine.scenarios import CleanSynchronous, DeliveryScenario
+from repro.obs.tracer import NULL_TRACER, Tracer
 
 Edge = tuple[Hashable, Hashable]
 
@@ -101,9 +102,13 @@ class WordScheduler:
         index: GraphIndex,
         scenario: DeliveryScenario | None,
         horizon: int,
+        tracer: Tracer = NULL_TRACER,
     ):
         self.index = index
         self.scenario = scenario if scenario is not None else CleanSynchronous()
+        # Observability sink; the batch-enqueue paths emit one scheduler
+        # event per round when (and only when) the tracer is enabled.
+        self.tracer = tracer
         # Exclusive bound on executed rounds (the run's max_rounds): a
         # faulty scenario may block an edge forever, and the completion
         # search must never scan past the last round that can execute —
@@ -187,12 +192,20 @@ class WordScheduler:
         horizon = self.horizon
         level_diff = self._level_diff
         width = int(min(max(int(needed.max()) + 16, _WINDOW_MIN), _WINDOW_CAP))
+        # Window statistics for the tracer: how many adaptive windows the
+        # search materialised and their total column width (the batched
+        # searchsorted sizes).  Plain int bumps — negligible next to the
+        # mask materialisation they describe.
+        self._last_windows = 0
+        self._last_window_cols = 0
         while pending.size:
             lo = int(cursor[pending].min())
             hi = min(lo + width, horizon)
             if hi <= lo:
                 break
             num = hi - lo
+            self._last_windows += 1
+            self._last_window_cols += num
             mask = self.scenario.transmit_mask(edge_rows[pending], lo, num)
             if lo < int(cursor[pending].max()):
                 cols = np.arange(num, dtype=np.int64)
@@ -304,6 +317,15 @@ class WordScheduler:
                 self._level_diff[int(r)] -= int(c)
             done = np.empty(count, dtype=np.int64)
             done[order] = done_sorted
+            tracer = self.tracer
+            if tracer.enabled:
+                tracer.scheduler_batch(
+                    round_index,
+                    path="clean",
+                    transfers=count,
+                    edges=int(group_first.sum()),
+                    deferred=int((done > round_index).sum()),
+                )
             return done
         if scenario.has_kernel:
             # Group FIFO traffic per edge, then answer "in which round does
@@ -331,6 +353,17 @@ class WordScheduler:
             self.edge_free_at[u_edges] = done_sorted[last_pos]
             done = np.empty(count, dtype=np.int64)
             done[order] = done_sorted
+            tracer = self.tracer
+            if tracer.enabled:
+                tracer.scheduler_batch(
+                    round_index,
+                    path="kernel",
+                    transfers=count,
+                    edges=int(u_edges.size),
+                    deferred=int((done > round_index).sum()),
+                    windows=self._last_windows,
+                    window_cols=self._last_window_cols,
+                )
             return done
         # Scalar fallback: the scenario only implements per-(edge, round)
         # ``transmits``; replay decisions per transfer in array order.
@@ -340,6 +373,15 @@ class WordScheduler:
             edge_id = int(edge_ids[i])
             done[i] = self._transfer_done(
                 edges[edge_id], edge_id, round_index, int(words[i])
+            )
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.scheduler_batch(
+                round_index,
+                path="scalar",
+                transfers=count,
+                edges=int(np.unique(edge_ids).size),
+                deferred=int((done > round_index).sum()),
             )
         return done
 

@@ -16,6 +16,7 @@ from repro.congest.network import CongestNetwork, SynchronousRun
 from repro.engine.backend import Backend, VertexFactory
 from repro.engine.registry import register_backend
 from repro.engine.scenarios import DeliveryScenario
+from repro.obs.tracer import Tracer
 
 
 @register_backend("reference")
@@ -33,11 +34,14 @@ class ReferenceBackend(Backend):
         phase: str = "simulated",
         metrics: CongestMetrics | None = None,
         scenario: DeliveryScenario | None = None,
+        tracer: Tracer | None = None,
     ) -> SynchronousRun:
         factory = self.resolve_factory(factory)
         # A clean scenario is the network's native behaviour; passing None
         # lets the delivery loop skip the per-edge scenario query entirely.
         if scenario is not None and scenario.is_clean:
             scenario = None
-        network = CongestNetwork(graph, metrics=metrics, scenario=scenario)
+        network = CongestNetwork(
+            graph, metrics=metrics, scenario=scenario, tracer=tracer
+        )
         return network.run(factory, max_rounds=max_rounds, phase=phase)

@@ -36,6 +36,7 @@ from repro.engine.reference import ReferenceBackend
 from repro.engine.scenarios import DeliveryScenario
 from repro.engine.sharded import ShardedBackend  # noqa: F401  (registers itself)
 from repro.engine.vectorized import VectorizedBackend  # noqa: F401  (registers itself)
+from repro.obs.tracer import Tracer
 
 # Legacy alias: the live name -> class mapping of the open registry.  Code
 # that iterated the old closed dict keeps working and now sees every
@@ -70,6 +71,7 @@ def run_algorithm(
     phase: str = "simulated",
     metrics: CongestMetrics | None = None,
     scenario: DeliveryScenario | str | None = None,
+    tracer: "Tracer | None" = None,
 ) -> SynchronousRun:
     """Run ``factory`` on every vertex of ``graph`` on the selected backend.
 
@@ -91,6 +93,8 @@ def run_algorithm(
             registry name (see
             :func:`~repro.engine.registry.available_scenarios`), or
             ``None`` for the clean synchronous model.
+        tracer: optional :class:`repro.obs.Tracer` receiving the run's
+            structured per-round events (``None`` traces nothing).
 
     Returns:
         A :class:`~repro.congest.network.SynchronousRun`.
@@ -105,4 +109,5 @@ def run_algorithm(
         phase=phase,
         metrics=metrics,
         scenario=scenario,
+        tracer=tracer,
     )

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from typing import Hashable
 
 import networkx as nx
@@ -47,6 +48,7 @@ from repro.engine.shm import (
     ColumnWriter,
     shared_memory_available,
 )
+from repro.obs.tracer import NULL_TRACER, Tracer, resolve_tracer
 
 _ROUND = "round"
 _FINISH = "finish"
@@ -251,9 +253,13 @@ class _ProcessShard:
     def __init__(
         self, context, vertices, factory, neighbor_map, n,
         index: GraphIndex | None = None, transport: str = "pipe",
+        tracer: Tracer = NULL_TRACER, shard_id: int = 0,
     ):
         self.vertices = vertices
         self.transport = transport if index is not None else "pipe"
+        self.tracer = tracer
+        self.shard_id = shard_id
+        self._round = 0
         self._down_writer: ColumnWriter | None = None
         self._up_reader: ColumnReader | None = None
         self._up_rows_needed = 0
@@ -298,12 +304,14 @@ class _ProcessShard:
 
     def begin_round(self, round_index: int, deliveries: list[Message]) -> None:
         """Publish the round's deliveries and the go token (no reply yet)."""
+        self._round = round_index
         if self.transport != "shm":
             self._conn.send(
                 (_ROUND, round_index, ("pipe", _pack_messages(deliveries)),
                  None, None)
             )
             return
+        tracer = self.tracer
         new_up = self._replace_up_block() if self._up_rows_needed else None
         self._up_rows_needed = 0
         new_down = None
@@ -312,6 +320,10 @@ class _ProcessShard:
             # Overflow: the parent owns both sides of the resize, so it
             # simply doubles until the round fits and announces the
             # replacement in the same token.
+            if tracer.enabled:
+                tracer.shm_overflow(
+                    round_index, self.shard_id, "down", action="resize"
+                )
             old = self._down_writer.block
             replacement = ColumnBlock(
                 max(old.rows_capacity * 2, 2 * len(deliveries)),
@@ -321,7 +333,16 @@ class _ProcessShard:
             old.unlink()
             new_down = replacement.descriptor()
             encoded = self._down_writer.encode(deliveries)
-        rows, _, new_tags = encoded
+        rows, arena_bytes, new_tags = encoded
+        if tracer.enabled:
+            block = self._down_writer.block
+            tracer.shm_block(
+                round_index, self.shard_id, "down",
+                rows=rows,
+                rows_capacity=block.rows_capacity,
+                arena_bytes=arena_bytes,
+                arena_capacity=block.arena_capacity,
+            )
         self._conn.send(
             (_ROUND, round_index, ("shm", rows, new_tags), new_down, new_up)
         )
@@ -329,15 +350,29 @@ class _ProcessShard:
     def collect_round(self) -> tuple[list[Message], int, list[Hashable]]:
         """Receive the round's (outgoing, active, newly_halted)."""
         part, active, newly_halted = self._expect("stepped")
+        tracer = self.tracer
         if part[0] == "shm":
             self._up_reader.learn(part[2])
             messages = self._up_reader.decode(part[1])
+            if tracer.enabled:
+                block = self._up_reader.block
+                tracer.shm_block(
+                    self._round, self.shard_id, "up",
+                    rows=part[1],
+                    rows_capacity=block.rows_capacity,
+                    arena_capacity=block.arena_capacity,
+                )
         else:
             messages = _unpack_messages(part[1])
             if self.transport == "shm" and part[2] is not None:
                 # The worker's block overflowed this round; remember the
                 # demand so the next begin_round provisions a replacement.
                 self._up_rows_needed = max(part[2], 1)
+                if tracer.enabled:
+                    tracer.shm_overflow(
+                        self._round, self.shard_id, "up",
+                        action="pipe-fallback",
+                    )
         return messages, active, newly_halted
 
     def finish(self):
@@ -411,16 +446,19 @@ class ShardedBackend(Backend):
         phase: str = "simulated",
         metrics: CongestMetrics | None = None,
         scenario: DeliveryScenario | None = None,
+        tracer: Tracer | None = None,
     ) -> SynchronousRun:
         factory = self.resolve_factory(factory)
         if graph.number_of_nodes() == 0:
             raise ValueError("cannot build a CONGEST network over an empty graph")
         metrics = metrics if metrics is not None else CongestMetrics()
+        tracer = resolve_tracer(tracer)
+        traced = tracer.enabled
         index = GraphIndex(graph)
         n = index.n
         neighbor_map = {v: tuple(graph.neighbors(v)) for v in index.nodes}
         scheduler = WordScheduler(
-            index, resolve_scenario(scenario), horizon=max_rounds
+            index, resolve_scenario(scenario), horizon=max_rounds, tracer=tracer
         )
 
         workers = self._resolve_workers(n)
@@ -446,11 +484,12 @@ class ShardedBackend(Backend):
         try:
             if use_processes:
                 context = multiprocessing.get_context(self.start_method)
-                for part in partitions:
+                for shard_id, part in enumerate(partitions):
                     shards.append(
                         _ProcessShard(
                             context, part, factory, neighbor_map, n,
                             index=index, transport=transport,
+                            tracer=tracer, shard_id=shard_id,
                         )
                     )
             else:
@@ -478,25 +517,58 @@ class ShardedBackend(Backend):
                     break
                 rounds_executed += 1
                 words_cache.clear()
+                if traced:
+                    round_start = time.perf_counter()
+                    tracer.round_begin(
+                        round_index,
+                        active=total_active,
+                        pending=scheduler.pending_messages,
+                    )
                 # Barrier in, barrier out: broadcast the round to every
                 # shard, then wait for every shard's response.
                 for shard_id, shard in enumerate(shards):
                     if isinstance(shard, _ProcessShard):
                         shard.begin_round(round_index, next_deliveries[shard_id])
+                if traced:
+                    broadcast_done = time.perf_counter()
+                    tracer.span_add(
+                        "broadcast", broadcast_done - round_start, round_index
+                    )
                 total_active = 0
                 outgoing: list[Message] = []
                 for shard_id, shard in enumerate(shards):
                     if isinstance(shard, _ProcessShard):
-                        sent, active, newly_halted = shard.collect_round()
+                        # The recv blocks until the worker finishes the
+                        # round: the wait *is* the barrier, and its length
+                        # is the straggler signal worth tracing.
+                        if traced:
+                            wait_start = time.perf_counter()
+                            sent, active, newly_halted = shard.collect_round()
+                            tracer.barrier_wait(
+                                round_index, shard_id,
+                                time.perf_counter() - wait_start,
+                            )
+                        else:
+                            sent, active, newly_halted = shard.collect_round()
                     else:
+                        if traced:
+                            step_start = time.perf_counter()
                         sent, active, newly_halted = shard.step(
                             round_index, next_deliveries[shard_id]
                         )
+                        if traced:
+                            tracer.span_add(
+                                "compute",
+                                time.perf_counter() - step_start,
+                                round_index,
+                            )
                     outgoing.extend(sent)
                     total_active += active
                     halted_vertices.update(newly_halted)
                 next_deliveries = [[] for _ in shards]
 
+                if traced:
+                    collect_done = time.perf_counter()
                 outgoing_words: list[int] = []
                 for message in outgoing:
                     if not index.has_edge(message.sender, message.receiver):
@@ -508,6 +580,11 @@ class ShardedBackend(Backend):
                 # Bulk enqueue: one transmit-mask prefix-sum query per round
                 # instead of a per-message decision replay.
                 scheduler.schedule_messages(outgoing, outgoing_words, round_index)
+                if traced:
+                    schedule_done = time.perf_counter()
+                    tracer.span_add(
+                        "schedule", schedule_done - collect_done, round_index
+                    )
                 delivered, words_crossed = scheduler.deliver(round_index)
                 dropped = 0
                 for message in delivered:
@@ -519,6 +596,17 @@ class ShardedBackend(Backend):
                     metrics.add_dropped(dropped, phase=phase)
                 metrics.add_rounds(1, phase=phase)
                 metrics.add_messages(len(delivered), phase=phase, words=words_crossed)
+                if traced:
+                    now = time.perf_counter()
+                    tracer.span_add("deliver", now - schedule_done, round_index)
+                    tracer.messages_delivered(round_index, delivered)
+                    tracer.round_end(
+                        round_index,
+                        delivered=len(delivered),
+                        words=words_crossed,
+                        dropped=dropped,
+                        seconds=now - round_start,
+                    )
 
             outputs: dict[Hashable, object] = {}
             halted = True

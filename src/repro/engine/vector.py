@@ -34,6 +34,7 @@ agree on outputs, rounds, and word totals under every delivery scenario.
 
 from __future__ import annotations
 
+import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Hashable
@@ -46,6 +47,7 @@ from repro.congest.network import SynchronousRun
 from repro.congest.vertex import VertexFactory
 from repro.engine.delivery import GraphIndex, WordScheduler
 from repro.engine.scenarios import DeliveryScenario, resolve_scenario
+from repro.obs.tracer import Tracer, resolve_tracer
 
 
 class VectorTopology:
@@ -303,6 +305,7 @@ def run_vector_algorithm(
     phase: str = "simulated",
     metrics: CongestMetrics | None = None,
     scenario: DeliveryScenario | None = None,
+    tracer: Tracer | None = None,
 ) -> SynchronousRun:
     """Drive a :class:`VectorAlgorithm` with batched validation and delivery.
 
@@ -315,12 +318,16 @@ def run_vector_algorithm(
     if graph.number_of_nodes() == 0:
         raise ValueError("cannot build a CONGEST network over an empty graph")
     metrics = metrics if metrics is not None else CongestMetrics()
+    tracer = resolve_tracer(tracer)
+    traced = tracer.enabled
     index = GraphIndex(graph)
     topology = VectorTopology(graph, index)
     algo = algorithm(topology)
     if algo.halted.shape != (topology.n,):
         raise ValueError("VectorAlgorithm.halted must be a length-n bool array")
-    scheduler = WordScheduler(index, resolve_scenario(scenario), horizon=max_rounds)
+    scheduler = WordScheduler(
+        index, resolve_scenario(scenario), horizon=max_rounds, tracer=tracer
+    )
     n = topology.n
     inbox = VectorInbox.empty()
 
@@ -329,6 +336,13 @@ def run_vector_algorithm(
         if bool(algo.halted.all()) and not scheduler.has_pending:
             break
         rounds_executed += 1
+        if traced:
+            round_start = time.perf_counter()
+            tracer.round_begin(
+                round_index,
+                active=int(n - int(algo.halted.sum())),
+                pending=scheduler.pending_messages,
+            )
         halted_before = algo.halted.copy()
         sends = algo.on_round(round_index, inbox)
         if sends is not None and sends.count:
@@ -362,13 +376,36 @@ def run_vector_algorithm(
                 raise ValueError(
                     "VectorSends.edge_ids must have one entry per send"
                 )
+            if traced:
+                compute_done = time.perf_counter()
+                tracer.span_add(
+                    "compute", compute_done - round_start, round_index
+                )
             scheduler.schedule_batch(
                 senders, receivers, edge_ids, words, values, round_index
             )
+            if traced:
+                tracer.span_add(
+                    "schedule",
+                    time.perf_counter() - compute_done,
+                    round_index,
+                )
+        elif traced:
+            compute_done = time.perf_counter()
+            tracer.span_add("compute", compute_done - round_start, round_index)
+        if traced:
+            deliver_start = time.perf_counter()
         d_senders, d_receivers, d_values, words_crossed = scheduler.deliver_batch(
             round_index
         )
         delivered_count = int(d_senders.size)
+        if traced and tracer.record_messages and delivered_count:
+            # Pre-drop record: what crossed the wire this round (the drop
+            # filter below narrows the arrays in place).
+            tracer.arrays_delivered(
+                round_index, d_senders, d_receivers, d_values, topology.nodes
+            )
+        dropped = 0
         if delivered_count:
             keep = ~algo.halted[d_receivers]
             dropped = delivered_count - int(keep.sum())
@@ -384,6 +421,16 @@ def run_vector_algorithm(
             inbox = VectorInbox.empty()
         metrics.add_rounds(1, phase=phase)
         metrics.add_messages(delivered_count, phase=phase, words=words_crossed)
+        if traced:
+            now = time.perf_counter()
+            tracer.span_add("deliver", now - deliver_start, round_index)
+            tracer.round_end(
+                round_index,
+                delivered=delivered_count,
+                words=words_crossed,
+                dropped=dropped,
+                seconds=now - round_start,
+            )
 
     outputs = algo.outputs()
     halted = bool(algo.halted.all())

@@ -17,6 +17,8 @@ reference backend.  CONGEST algorithms must not depend on such ordering
 
 from __future__ import annotations
 
+import time
+
 import networkx as nx
 
 from repro.congest.metrics import CongestMetrics
@@ -26,6 +28,7 @@ from repro.engine.delivery import GraphIndex, WordScheduler, payload_words
 from repro.engine.registry import register_backend
 from repro.engine.scenarios import DeliveryScenario, resolve_scenario
 from repro.engine.vector import is_vector_algorithm, run_vector_algorithm
+from repro.obs.tracer import Tracer, resolve_tracer
 
 
 @register_backend("vectorized")
@@ -51,6 +54,7 @@ class VectorizedBackend(Backend):
         phase: str = "simulated",
         metrics: CongestMetrics | None = None,
         scenario: DeliveryScenario | None = None,
+        tracer: Tracer | None = None,
     ) -> SynchronousRun:
         if is_vector_algorithm(factory):
             return run_vector_algorithm(
@@ -60,10 +64,13 @@ class VectorizedBackend(Backend):
                 phase=phase,
                 metrics=metrics,
                 scenario=scenario,
+                tracer=tracer,
             )
         if graph.number_of_nodes() == 0:
             raise ValueError("cannot build a CONGEST network over an empty graph")
         metrics = metrics if metrics is not None else CongestMetrics()
+        tracer = resolve_tracer(tracer)
+        traced = tracer.enabled
         index = GraphIndex(graph)
         n = index.n
         algorithms = {
@@ -71,7 +78,7 @@ class VectorizedBackend(Backend):
         }
         inboxes: dict = {v: [] for v in index.nodes}
         scheduler = WordScheduler(
-            index, resolve_scenario(scenario), horizon=max_rounds
+            index, resolve_scenario(scenario), horizon=max_rounds, tracer=tracer
         )
         active = index.nodes
         words_cache: dict[int, tuple[object, int]] = {}
@@ -82,6 +89,13 @@ class VectorizedBackend(Backend):
             if not active and not scheduler.has_pending:
                 break
             rounds_executed += 1
+            if traced:
+                round_start = time.perf_counter()
+                tracer.round_begin(
+                    round_index,
+                    active=len(active),
+                    pending=scheduler.pending_messages,
+                )
             words_cache.clear()
             outgoing: list = []
             outgoing_words: list[int] = []
@@ -102,10 +116,20 @@ class VectorizedBackend(Backend):
                         )
                     outgoing.append(message)
                     outgoing_words.append(payload_words(message, n, words_cache))
+            if traced:
+                compute_done = time.perf_counter()
+                tracer.span_add(
+                    "compute", compute_done - round_start, round_index
+                )
             # One bulk enqueue per round: completion rounds for the whole
             # batch come from a single transmit-mask prefix-sum query, so
             # faulty kernel scenarios schedule as fast as clean ones.
             scheduler.schedule_messages(outgoing, outgoing_words, round_index)
+            if traced:
+                schedule_done = time.perf_counter()
+                tracer.span_add(
+                    "schedule", schedule_done - compute_done, round_index
+                )
             delivered, words_crossed = scheduler.deliver(round_index)
             dropped = 0
             for message in delivered:
@@ -119,6 +143,17 @@ class VectorizedBackend(Backend):
                 metrics.add_dropped(dropped, phase=phase)
             metrics.add_rounds(1, phase=phase)
             metrics.add_messages(len(delivered), phase=phase, words=words_crossed)
+            if traced:
+                now = time.perf_counter()
+                tracer.span_add("deliver", now - schedule_done, round_index)
+                tracer.messages_delivered(round_index, delivered)
+                tracer.round_end(
+                    round_index,
+                    delivered=len(delivered),
+                    words=words_crossed,
+                    dropped=dropped,
+                    seconds=now - round_start,
+                )
 
         outputs = {v: alg.output for v, alg in algorithms.items()}
         halted = all(alg.halted for alg in algorithms.values())

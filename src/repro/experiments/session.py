@@ -33,6 +33,7 @@ from repro.engine.backend import Backend
 from repro.engine.runner import resolve_backend
 from repro.engine.scenarios import DeliveryScenario, resolve_scenario
 from repro.experiments.spec import ExperimentSpec
+from repro.obs.tracer import Tracer, resolve_tracer
 
 
 def _canonical_repr(value: Any) -> str:
@@ -90,6 +91,10 @@ class RunResult:
         cell_index: position of this cell's scenario on the grid's
             scenario axis (0 outside grids); keeps cells distinct even
             when two scenario instances share a ``describe()`` string.
+        timings: per-layer wall-clock budget (span name -> seconds summed
+            over repeats) when the session ran with a tracer; empty
+            otherwise.  Wall-clock-derived, so excluded from
+            :meth:`ResultSet.digest` like ``seconds``.
     """
 
     spec_name: str
@@ -109,6 +114,7 @@ class RunResult:
     output_digest: str
     outputs: dict[Hashable, Any] | None = None
     cell_index: int = 0
+    timings: dict[str, float] = field(default_factory=dict)
 
     def signature(self) -> tuple:
         """The deterministic facts a repeat / another backend must reproduce."""
@@ -166,6 +172,7 @@ class RunResult:
             "seconds": [round(s, 6) for s in self.seconds],
             "words_per_second": round(self.words_per_second, 1),
             "rounds_per_second": round(self.rounds_per_second, 1),
+            "timings": {k: round(v, 6) for k, v in sorted(self.timings.items())},
             "output_digest": self.output_digest,
         }
 
@@ -206,6 +213,7 @@ class ResultSet:
             del row["seconds"]
             del row["words_per_second"]
             del row["rounds_per_second"]
+            del row["timings"]
             rows.append(row)
         blob = json.dumps(rows, sort_keys=True, default=repr)
         return hashlib.sha256(blob.encode()).hexdigest()[:16]
@@ -266,12 +274,22 @@ class Session:
         name: label stamped onto the produced :class:`ResultSet`s.
         keep_outputs: pin each cell's raw per-vertex outputs on its
             :class:`RunResult` (digests are always recorded).
+        tracer: the session's :class:`repro.obs.Tracer`; ``None`` installs
+            the zero-overhead null tracer.  Tracing never perturbs
+            execution — a traced run and an untraced run of the same spec
+            produce identical :meth:`ResultSet.digest` fingerprints.
         history: every :class:`RunResult` this session produced, in order.
     """
 
-    def __init__(self, name: str = "session", keep_outputs: bool = False):
+    def __init__(
+        self,
+        name: str = "session",
+        keep_outputs: bool = False,
+        tracer: Tracer | None = None,
+    ):
         self.name = name
         self.keep_outputs = keep_outputs
+        self.tracer = resolve_tracer(tracer)
         self.history: list[RunResult] = []
 
     # -- the imperative core -------------------------------------------------
@@ -286,14 +304,29 @@ class Session:
         phase: str = "simulated",
         metrics: CongestMetrics | None = None,
         scenario: DeliveryScenario | str | None = None,
+        tracer: Tracer | None = None,
     ) -> SynchronousRun:
         """One engine execution; the substrate under :func:`run_algorithm`.
 
         Accepts exactly the shim's surface (names, instances, classes) and
         returns the raw :class:`SynchronousRun` — no result bookkeeping.
+        ``tracer`` overrides the session's tracer for this execution.
         """
         engine = resolve_backend(backend)
         resolved = None if scenario is None else resolve_scenario(scenario)
+        active_tracer = self.tracer if tracer is None else resolve_tracer(tracer)
+        if active_tracer.enabled:
+            return engine.run(
+                graph,
+                factory,
+                max_rounds=max_rounds,
+                phase=phase,
+                metrics=metrics,
+                scenario=resolved,
+                tracer=active_tracer,
+            )
+        # Untraced: keep the historical call shape so custom Backend
+        # subclasses that predate the ``tracer`` keyword keep working.
         return engine.run(
             graph,
             factory,
@@ -320,27 +353,40 @@ class Session:
         kind = spec.workload_kind()
         workload = spec.build_workload()
 
+        tracer = self.tracer
+        traced = tracer.enabled
+        spans_before = dict(tracer.span_totals()) if traced else {}
         seconds: list[float] = []
         run: SynchronousRun | None = None
         signature: tuple | None = None
         for _ in range(spec.repeats):
             start = time.perf_counter()
-            if kind == "driver":
-                candidate = workload(
-                    graph,
-                    backend=engine,
-                    scenario=concrete,
-                    max_rounds=spec.max_rounds,
-                    session=self,
-                )
-            else:
-                candidate = engine.run(
-                    graph,
-                    workload,
-                    max_rounds=spec.max_rounds,
-                    phase=spec.name,
-                    scenario=concrete,
-                )
+            with tracer.span("run_cell"):
+                if kind == "driver":
+                    candidate = workload(
+                        graph,
+                        backend=engine,
+                        scenario=concrete,
+                        max_rounds=spec.max_rounds,
+                        session=self,
+                    )
+                elif traced:
+                    candidate = engine.run(
+                        graph,
+                        workload,
+                        max_rounds=spec.max_rounds,
+                        phase=spec.name,
+                        scenario=concrete,
+                        tracer=tracer,
+                    )
+                else:
+                    candidate = engine.run(
+                        graph,
+                        workload,
+                        max_rounds=spec.max_rounds,
+                        phase=spec.name,
+                        scenario=concrete,
+                    )
             seconds.append(time.perf_counter() - start)
             current = (
                 candidate.rounds, candidate.metrics.messages,
@@ -363,6 +409,14 @@ class Session:
             # A live instance (or None) has no registry name; by_cell and
             # the reports fall back to the instance's describe() string.
             scenario_label = None
+        timings: dict[str, float] = {}
+        if traced:
+            # The cell's per-layer time budget: the growth of the tracer's
+            # cumulative span totals across this cell's repeats.
+            for name, total in tracer.span_totals().items():
+                delta = total - spans_before.get(name, 0.0)
+                if delta > 0.0:
+                    timings[name] = delta
         result = RunResult(
             spec_name=spec.name,
             workload=(
@@ -386,6 +440,7 @@ class Session:
             output_digest=signature[-1],
             outputs=dict(run.outputs) if self.keep_outputs else None,
             cell_index=cell_index,
+            timings=timings,
         )
         self.history.append(result)
         return result

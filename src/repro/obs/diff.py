@@ -1,0 +1,190 @@
+"""Trace-diff divergence debugger: find the first round two runs disagree.
+
+The engine's semantic-equivalence contract says every backend delivers the
+same messages in the same rounds.  When a backend (or a code change)
+violates it, the result-layer check
+(:meth:`~repro.experiments.session.ResultSet.check_backend_agreement`) only
+reports that *end states* differ — total rounds, output digests.  This
+module answers the actionable question instead: **in which round did the
+executions first diverge, and which messages differ?**
+
+Both executions run under a :class:`~repro.obs.tracer.RecordingTracer`
+(with ``record_messages`` on), which records each round's delivered
+messages as comparable ``(sender, receiver, tag, repr(payload))`` tuples.
+:func:`diff_delivered` compares the per-round delivered *multisets* —
+within-round ordering is explicitly not part of the CONGEST contract, so
+two backends delivering the same messages in a different order within one
+round do **not** diverge — and reports the first differing round with the
+messages unique to each side.
+
+``scripts/trace_diff.py`` is the command-line face of this module.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Mapping
+
+import networkx as nx
+
+from repro.obs.tracer import RecordingTracer
+
+__all__ = ["DivergenceReport", "diff_delivered", "run_trace_diff"]
+
+
+@dataclass
+class DivergenceReport:
+    """Where (and how) two traced executions first disagree.
+
+    Attributes:
+        label_a / label_b: names of the two executions (backend names).
+        rounds_a / rounds_b: executed round counts of each side.
+        round_index: first round whose delivered-message multisets differ
+            (``None`` when the traces agree on every round).
+        only_a / only_b: the differing messages of that round — present on
+            one side and missing (or under-represented) on the other, as
+            ``(sender, receiver, tag, payload_repr)`` tuples with
+            multiplicity.
+    """
+
+    label_a: str
+    label_b: str
+    rounds_a: int
+    rounds_b: int
+    round_index: int | None = None
+    only_a: list[tuple] = field(default_factory=list)
+    only_b: list[tuple] = field(default_factory=list)
+
+    @property
+    def diverged(self) -> bool:
+        return self.round_index is not None
+
+    def render(self) -> str:
+        """A human-readable report (what ``scripts/trace_diff.py`` prints)."""
+        if not self.diverged:
+            return (
+                f"no divergence: {self.label_a!r} and {self.label_b!r} "
+                f"delivered identical per-round message multisets over "
+                f"{self.rounds_a} rounds"
+            )
+        lines = [
+            f"first divergence at round {self.round_index} "
+            f"({self.label_a!r} ran {self.rounds_a} rounds, "
+            f"{self.label_b!r} ran {self.rounds_b}):"
+        ]
+        for label, messages in (
+            (self.label_a, self.only_a),
+            (self.label_b, self.only_b),
+        ):
+            lines.append(f"  delivered only by {label!r}: {len(messages)}")
+            for sender, receiver, tag, payload in messages[:20]:
+                lines.append(
+                    f"    {sender!r} -> {receiver!r}  tag={tag!r}  "
+                    f"payload={payload}"
+                )
+            if len(messages) > 20:
+                lines.append(f"    ... and {len(messages) - 20} more")
+        return "\n".join(lines)
+
+
+def _delivered_map(
+    trace: "RecordingTracer | Mapping[int, list[tuple]]",
+) -> dict[int, list[tuple]]:
+    if isinstance(trace, RecordingTracer):
+        if not trace.record_messages:
+            raise ValueError(
+                "trace diffing needs per-message content; construct the "
+                "RecordingTracer with record_messages=True (the default)"
+            )
+        return trace.delivered_by_round()
+    return dict(trace)
+
+
+def _round_count(
+    trace: "RecordingTracer | Mapping[int, list[tuple]]",
+    delivered: dict[int, list[tuple]],
+) -> int:
+    if isinstance(trace, RecordingTracer):
+        rounds = trace.rounds()
+        if rounds:
+            return len(rounds)
+    return max(delivered, default=-1) + 1
+
+
+def diff_delivered(
+    trace_a: "RecordingTracer | Mapping[int, list[tuple]]",
+    trace_b: "RecordingTracer | Mapping[int, list[tuple]]",
+    label_a: str = "a",
+    label_b: str = "b",
+) -> DivergenceReport:
+    """First round where the two traces' delivered multisets differ.
+
+    Accepts :class:`RecordingTracer` instances or plain
+    ``{round: [message tuples]}`` mappings (which is what lets tests and
+    tools doctor a recorded trace and diff the result).
+    """
+    delivered_a = _delivered_map(trace_a)
+    delivered_b = _delivered_map(trace_b)
+    report = DivergenceReport(
+        label_a=label_a,
+        label_b=label_b,
+        rounds_a=_round_count(trace_a, delivered_a),
+        rounds_b=_round_count(trace_b, delivered_b),
+    )
+    for round_index in sorted(set(delivered_a) | set(delivered_b)):
+        count_a = Counter(delivered_a.get(round_index, ()))
+        count_b = Counter(delivered_b.get(round_index, ()))
+        if count_a == count_b:
+            continue
+        report.round_index = round_index
+        report.only_a = sorted(
+            (count_a - count_b).elements(), key=repr
+        )
+        report.only_b = sorted(
+            (count_b - count_a).elements(), key=repr
+        )
+        return report
+    # Identical deliveries but different round counts (e.g. one side spins
+    # extra empty rounds before halting) is still a divergence — flag the
+    # first round only one side executed.
+    if report.rounds_a != report.rounds_b:
+        report.round_index = min(report.rounds_a, report.rounds_b)
+    return report
+
+
+def run_trace_diff(
+    graph: nx.Graph,
+    factory: Any,
+    backend_a: Any = "reference",
+    backend_b: Any = "vectorized",
+    *,
+    scenario: Any = None,
+    max_rounds: int = 10_000,
+) -> tuple[DivergenceReport, RecordingTracer, RecordingTracer]:
+    """Run ``factory`` on two backends with recording tracers and diff them.
+
+    Returns ``(report, trace_a, trace_b)`` so callers can inspect beyond
+    the first divergence.  Both executions resolve ``scenario`` afresh per
+    run (registry names get independent but identical instances; live
+    instances are shared — they are stateless decision functions, so
+    sharing is safe).
+    """
+    from repro.experiments.session import Session
+
+    traces: list[RecordingTracer] = []
+    labels: list[str] = []
+    for backend in (backend_a, backend_b):
+        tracer = RecordingTracer()
+        session = Session(name="trace-diff", tracer=tracer)
+        session.execute(
+            graph,
+            factory,
+            backend=backend,
+            scenario=scenario,
+            max_rounds=max_rounds,
+        )
+        traces.append(tracer)
+        labels.append(backend if isinstance(backend, str) else str(backend))
+    report = diff_delivered(traces[0], traces[1], labels[0], labels[1])
+    return report, traces[0], traces[1]

@@ -66,3 +66,37 @@ class TestCongestMetrics:
         assert metrics.snapshot() == {
             "rounds": 0, "messages": 0, "words": 0, "dropped": 0,
         }
+
+
+class TestPhaseDropped:
+    def test_add_dropped_attributes_per_phase(self):
+        metrics = CongestMetrics()
+        metrics.add_dropped(3, phase="listing")
+        metrics.add_dropped(2, phase="flood")
+        metrics.add_dropped(1, phase="listing")
+        assert metrics.dropped == 6
+        assert metrics.phase_dropped["listing"] == 4
+        assert metrics.phase_dropped["flood"] == 2
+
+    def test_add_dropped_defaults_to_unattributed(self):
+        metrics = CongestMetrics()
+        metrics.add_dropped(5)
+        assert metrics.phase_dropped["unattributed"] == 5
+
+    def test_merge_folds_phase_dropped(self):
+        left = CongestMetrics()
+        left.add_dropped(1, phase="p")
+        right = CongestMetrics()
+        right.add_dropped(2, phase="p")
+        right.add_dropped(3, phase="q")
+        left.merge(right)
+        assert left.dropped == 6
+        assert left.phase_dropped["p"] == 3
+        assert left.phase_dropped["q"] == 3
+
+    def test_reset_clears_phase_dropped(self):
+        metrics = CongestMetrics()
+        metrics.add_dropped(4, phase="p")
+        metrics.reset()
+        assert metrics.dropped == 0
+        assert dict(metrics.phase_dropped) == {}
