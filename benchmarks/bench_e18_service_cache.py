@@ -1,0 +1,279 @@
+"""E18 — Experiment service: content-addressed cache + fair-share serving.
+
+PR 7's tentpole measured end to end.  The experiment server executes grid
+cells on a multiprocessing worker pool and answers repeated cells from a
+content-addressed cache keyed by the spec's deterministic
+:meth:`~repro.experiments.ExperimentSpec.cell_digest`.  Three phases:
+
+1. **Cold** — submit the E14 listing grid (``distributed-listing`` on the
+   ``vectorized`` backend over clean / link-drop / bursty /
+   heterogeneous-bandwidth) to a fresh server over HTTP; every cell
+   executes on the pool.
+2. **Warm** — resubmit the identical grid: every cell must be answered
+   from the cache, with per-cell latency >= 100x below cold (at the full
+   n=1000 configuration) and a final :meth:`ResultSet.digest` byte-identical
+   to both the cold submission and a direct in-process
+   :meth:`Session.grid` of the same spec.
+3. **Fairness** — four concurrent clients submit disjoint grids (distinct
+   seeds, so no cache short-circuit); the pool's dispatch log records the
+   round-robin interleaving across clients, reported as the fraction of
+   adjacent dispatches that switch client.
+
+Run standalone (writes BENCH_e18.json at the repo root by default)::
+
+    PYTHONPATH=src python benchmarks/bench_e18_service_cache.py
+    PYTHONPATH=src python benchmarks/bench_e18_service_cache.py --smoke
+
+``--smoke`` runs the 200-vertex configuration (the CI tier-2 job), or
+through the pytest-benchmark harness like the other experiments::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_e18_service_cache.py -q
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+import time
+from pathlib import Path
+
+import common  # noqa: F401  (registers the 'listing-workload' graph source)
+from repro.experiments import ExperimentSpec, Session
+from repro.service import (
+    CellCache,
+    ExperimentServer,
+    ExperimentService,
+    ServiceClient,
+    SubmitRequest,
+    WorkerPool,
+)
+
+# The E14 robust-scenario axis, served instead of run in-process.
+SCENARIO_GRID = [
+    "clean",
+    ("link-drop", {"drop_probability": 0.1}),
+    ("bursty", {"burst_probability": 0.25, "burst_length": 3, "period": 12}),
+    ("heterogeneous-bandwidth", {"capacities": [1.0, 0.5, 0.25]}),
+]
+
+FAIR_CLIENTS = 4
+
+
+def build_spec(n: int, seed: int = 7, max_rounds: int = 200_000) -> ExperimentSpec:
+    return ExperimentSpec(
+        name="e18-service-cache",
+        graph="listing-workload",
+        graph_params={"n": n},
+        workload="distributed-listing",
+        backend="vectorized",
+        seeds=(seed,),
+        max_rounds=max_rounds,
+    )
+
+
+def _switch_fraction(log: list[str]) -> float:
+    """Fraction of adjacent dispatch pairs that change client (1.0 = strict
+    alternation, 0.0 = one client fully drained before the next)."""
+    if len(log) < 2:
+        return 0.0
+    switches = sum(
+        1 for a, b in zip(log, log[1:]) if a != b
+    )
+    return round(switches / (len(log) - 1), 3)
+
+
+def run_experiment(n: int, seed: int = 7, workers: int | None = None) -> dict:
+    spec = build_spec(n, seed=seed)
+    scenarios = SCENARIO_GRID
+
+    # The ground truth the served grid must reproduce byte-for-byte.
+    direct = Session(name="e18-direct").grid(spec, scenarios=scenarios)
+    direct_digest = direct.digest()
+
+    pool = WorkerPool(num_workers=workers).start()
+    service = ExperimentService(pool, CellCache())
+    server = ExperimentServer(service).start_in_background()
+    try:
+        client = ServiceClient(port=server.port, timeout=3600)
+        request = SubmitRequest(
+            spec=spec.to_json(),
+            client="bench-e18",
+            scenarios=scenarios,
+        )
+
+        start = time.perf_counter()
+        cold = client.submit(request)
+        cold_seconds = time.perf_counter() - start
+        assert cold["failed"] == 0, cold["failures"]
+        assert cold["executed"] == cold["cells"]
+
+        start = time.perf_counter()
+        warm = client.submit(request)
+        warm_seconds = time.perf_counter() - start
+        assert warm["cached"] == warm["cells"], warm
+        assert warm["digest"] == cold["digest"] == direct_digest
+
+        cells = cold["cells"]
+        cold_per_cell = cold_seconds / cells
+        warm_per_cell = warm_seconds / cells
+        speedup = cold_per_cell / warm_per_cell if warm_per_cell > 0 else 0.0
+
+        # Fairness: concurrent clients with disjoint work (distinct seeds,
+        # so nothing is answered from cache and every cell hits the pool).
+        log_before = len(pool.dispatch_log)
+        fair_replies: dict[str, dict] = {}
+
+        def submit_as(label: str, client_seed: int) -> None:
+            fair_spec = build_spec(n, seed=client_seed)
+            fair_request = SubmitRequest(
+                spec=fair_spec.to_json(), client=label, scenarios=scenarios
+            )
+            fair_replies[label] = ServiceClient(
+                port=server.port, timeout=3600
+            ).submit(fair_request)
+
+        threads = [
+            threading.Thread(
+                target=submit_as, args=(f"client-{i}", 100 + i)
+            )
+            for i in range(FAIR_CLIENTS)
+        ]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        fair_seconds = time.perf_counter() - start
+        for label, reply in fair_replies.items():
+            assert reply["failed"] == 0, (label, reply["failures"])
+        dispatch_log = pool.dispatch_log[log_before:]
+        pool_stats = pool.stats()
+    finally:
+        server.stop()
+        pool.close()
+
+    return {
+        "experiment": (
+            "E18 service cache (content-addressed replay + fair-share pool)"
+        ),
+        "workload": (
+            "E14 listing grid submitted over HTTP to the experiment server; "
+            "cold executes on the worker pool, warm replays from the "
+            "digest-keyed cache; four concurrent clients measure fair share"
+        ),
+        "n": n,
+        "seed": seed,
+        "cells": cells,
+        "workers": pool.num_workers,
+        "cold": {
+            "seconds": round(cold_seconds, 6),
+            "per_cell_seconds": round(cold_per_cell, 6),
+        },
+        "warm": {
+            "seconds": round(warm_seconds, 6),
+            "per_cell_seconds": round(warm_per_cell, 6),
+            "cached": warm["cached"],
+        },
+        "per_cell_speedup": round(speedup, 1),
+        "digest": {
+            "service_cold": cold["digest"],
+            "service_warm": warm["digest"],
+            "direct_session_grid": direct_digest,
+            "match": cold["digest"] == warm["digest"] == direct_digest,
+        },
+        "fairness": {
+            "clients": FAIR_CLIENTS,
+            "cells_per_client": cells,
+            "seconds": round(fair_seconds, 6),
+            "dispatch_log": dispatch_log,
+            "adjacent_switch_fraction": _switch_fraction(dispatch_log),
+        },
+        "pool": pool_stats,
+        "rows": cold["resultset"]["rows"],
+        "spec": spec.to_json(),
+    }
+
+
+def render(report: dict) -> str:
+    lines = [
+        f"E18: experiment service cache (n={report['n']}, "
+        f"{report['cells']} cells, {report['workers']} workers)",
+        f"  cold submit: {report['cold']['seconds']:.3f}s "
+        f"({report['cold']['per_cell_seconds'] * 1e3:.1f} ms/cell, all "
+        f"executed)",
+        f"  warm submit: {report['warm']['seconds']:.3f}s "
+        f"({report['warm']['per_cell_seconds'] * 1e3:.2f} ms/cell, "
+        f"{report['warm']['cached']} from cache)",
+        f"  per-cell speedup: {report['per_cell_speedup']:.0f}x",
+        f"  digest (cold == warm == direct Session.grid): "
+        f"{report['digest']['match']} [{report['digest']['service_cold']}]",
+        f"  fairness: {report['fairness']['clients']} concurrent clients, "
+        f"{report['fairness']['seconds']:.3f}s, adjacent-switch fraction "
+        f"{report['fairness']['adjacent_switch_fraction']:.3f}",
+    ]
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=1000)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--workers", type=int, default=None)
+    parser.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        help=(
+            "where to write the JSON report ('-' to skip; default: the "
+            "committed BENCH_e18.json, skipped under --smoke)"
+        ),
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="200-vertex configuration only (the CI tier-2 job)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        args.n = 200
+    report = run_experiment(args.n, seed=args.seed, workers=args.workers)
+    print(render(report))
+    if not report["digest"]["match"]:  # pragma: no cover - hard failure
+        print("DIGEST MISMATCH", file=sys.stderr)
+        return 1
+    if not args.smoke and report["per_cell_speedup"] < 100:
+        print(
+            f"cache speedup {report['per_cell_speedup']:.0f}x is below the "
+            f"100x acceptance threshold",
+            file=sys.stderr,
+        )
+        return 1
+    json_path = args.json
+    if json_path is None and not args.smoke:
+        json_path = Path(__file__).resolve().parent.parent / "BENCH_e18.json"
+    if json_path is not None and str(json_path) != "-":
+        json_path.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"\nwrote {json_path}")
+    return 0
+
+
+def test_e18_service_cache(benchmark, print_section):
+    """pytest-benchmark harness entry, small size to keep the suite fast."""
+    from conftest import run_once
+
+    report = run_once(benchmark, lambda: run_experiment(120, workers=2))
+    print_section(render(report))
+    assert report["digest"]["match"]
+    assert report["warm"]["cached"] == report["cells"]
+    # At this tiny size cold cells are milliseconds, so only a conservative
+    # floor is asserted; the 100x acceptance bar applies to the full n=1000
+    # standalone run.
+    assert report["per_cell_speedup"] >= 5
+    assert report["fairness"]["adjacent_switch_fraction"] > 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,7 +21,12 @@ selectable by name here without touching this module.
    execution — seed sweeps, repeats, backend x scenario grids, JSON
    reporting — should build an :class:`~repro.experiments.ExperimentSpec`
    and execute it through a :class:`~repro.experiments.Session` instead;
-   ``run_algorithm(...)`` is exactly ``Session().execute(...)``.
+   ``run_algorithm(...)`` is exactly ``Session().execute(...)``.  For
+   *batch* use — many grids, repeated submissions, several consumers
+   sharing results — run the experiment service (:mod:`repro.service`,
+   ``scripts/reprod.py serve``): it executes cells on a worker pool with
+   fair-share queueing and answers repeated cells from a
+   content-addressed result cache.
 """
 
 from __future__ import annotations

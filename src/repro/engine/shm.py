@@ -180,7 +180,18 @@ class ColumnWriter:
                     f"vertex {message.sender!r} attempted to send to "
                     f"non-neighbour {message.receiver!r}"
                 )
-            row[_SENDER] = index[message.sender]
+            sender_id = index.get(message.sender)
+            if sender_id is None:
+                # Same treatment for the sender column: a message forged
+                # with a sender that is no vertex of the run must get the
+                # engine's diagnostic, not a bare KeyError from the dense
+                # vertex index.
+                raise ValueError(
+                    f"unknown sender {message.sender!r} is not a vertex of "
+                    f"this run's graph (attempted send to "
+                    f"{message.receiver!r})"
+                )
+            row[_SENDER] = sender_id
             row[_RECEIVER] = receiver_id
             tag = message.tag
             tag_id = tag_ids.get(tag)

@@ -39,7 +39,7 @@ Quickstart::
     print(results.table())
 """
 
-from repro.experiments.session import ResultSet, RunResult, Session
+from repro.experiments.session import ResultSet, RunResult, Session, run_cell
 from repro.experiments.spec import (
     ExperimentSpec,
     graph_source_registry,
@@ -54,6 +54,7 @@ __all__ = [
     "Session",
     "RunResult",
     "ResultSet",
+    "run_cell",
     "register_graph_source",
     "register_workload",
     "graph_source_registry",

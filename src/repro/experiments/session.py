@@ -19,9 +19,10 @@ equivalence guarantee cell-by-cell.
 from __future__ import annotations
 
 import hashlib
+import inspect
 import json
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Hashable, Iterable, Sequence
 
 import networkx as nx
@@ -36,12 +37,26 @@ from repro.experiments.spec import ExperimentSpec
 from repro.obs.tracer import Tracer, resolve_tracer
 
 
+def _length_prefixed(parts: Iterable[str]) -> str:
+    """Join element encodings so no element boundary is ambiguous.
+
+    A plain ``",".join`` lets elements containing the separator regroup
+    (``{"a,b", "c"}`` and ``{"a", "b,c"}`` would join identically); the
+    ``len:text`` prefix makes every element self-delimiting.
+    """
+    return ",".join(f"{len(part)}:{part}" for part in parts)
+
+
 def _canonical_repr(value: Any) -> str:
     """A lossless textual form for digesting (``repr`` truncates big arrays).
 
     numpy renders arrays beyond its print threshold with a ``...`` ellipsis,
     so two arrays differing only in the elided middle would repr — and
     digest — identically; containers recurse so nested arrays are covered.
+    Dicts and sets canonicalise as *sorted, length-prefixed* element
+    encodings — dict entries as ``(key-repr, value-repr)`` tuples — so
+    differently-structured values cannot collide (a key whose repr contains
+    ``:`` or ``,`` must not be readable as part of its value).
     """
     if isinstance(value, np.ndarray):
         return f"ndarray({value.shape},{value.dtype},{value.tobytes()!r})"
@@ -49,15 +64,15 @@ def _canonical_repr(value: Any) -> str:
         inner = ",".join(_canonical_repr(item) for item in value)
         return f"{type(value).__name__}[{inner}]"
     if isinstance(value, (set, frozenset)):
-        inner = ",".join(sorted(_canonical_repr(item) for item in value))
+        inner = _length_prefixed(
+            sorted(_canonical_repr(item) for item in value)
+        )
         return f"{type(value).__name__}[{inner}]"
     if isinstance(value, dict):
-        inner = ",".join(
-            sorted(
-                f"{_canonical_repr(k)}:{_canonical_repr(v)}"
-                for k, v in value.items()
-            )
+        pairs = sorted(
+            (_canonical_repr(k), _canonical_repr(v)) for k, v in value.items()
         )
+        inner = _length_prefixed(_length_prefixed(pair) for pair in pairs)
         return f"dict[{inner}]"
     return repr(value)
 
@@ -68,6 +83,31 @@ def _digest_outputs(outputs: dict[Hashable, Any]) -> str:
         sorted((repr(k), _canonical_repr(v)) for k, v in outputs.items())
     )
     return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+_TRACER_AWARE: dict[type, bool] = {}
+
+
+def _backend_accepts_tracer(engine: Backend) -> bool:
+    """Whether ``engine.run`` declares a ``tracer`` keyword (cached per class).
+
+    Custom :class:`Backend` subclasses that predate the ``tracer`` keyword
+    must keep working, so the session only forwards the tracer to backends
+    whose ``run`` signature accepts it (by name or via ``**kwargs``).
+    """
+    cls = type(engine)
+    known = _TRACER_AWARE.get(cls)
+    if known is None:
+        try:
+            parameters = inspect.signature(cls.run).parameters
+            known = "tracer" in parameters or any(
+                parameter.kind is inspect.Parameter.VAR_KEYWORD
+                for parameter in parameters.values()
+            )
+        except (TypeError, ValueError):  # pragma: no cover - exotic callables
+            known = False
+        _TRACER_AWARE[cls] = known
+    return known
 
 
 @dataclass
@@ -177,6 +217,23 @@ class RunResult:
         }
 
 
+def scenario_label(scenario: Any) -> str | None:
+    """The ``scenario_name`` a cell stamps for a grid-axis entry.
+
+    The registry name of a ``(name, params)`` pair or a bare string;
+    ``None`` for live instances and the clean default.  Cache replays
+    restamp this from the *current* request's axis entry — the cell
+    digest treats equivalent spellings (``"clean"`` vs ``None``) as the
+    same cell, so the label must come from the submission being served,
+    not from the submission that originally executed the cell.
+    """
+    if isinstance(scenario, tuple) and len(scenario) == 2:
+        return scenario[0]
+    if isinstance(scenario, str):
+        return scenario
+    return None
+
+
 @dataclass
 class ResultSet:
     """An ordered collection of :class:`RunResult` cells plus report helpers."""
@@ -278,6 +335,14 @@ class Session:
             the zero-overhead null tracer.  Tracing never perturbs
             execution — a traced run and an untraced run of the same spec
             produce identical :meth:`ResultSet.digest` fingerprints.
+        cache: optional content-addressed result cache (anything with the
+            :class:`repro.service.CellCache` ``get(digest)`` /
+            ``put(digest, result)`` surface).  Cells of *portable* specs
+            (registry names only) are keyed by
+            :meth:`ExperimentSpec.cell_digest`; a hit replays the cached
+            :class:`RunResult` (with this cell's ``cell_index`` and spec
+            name stamped on) instead of executing.  Cells of non-portable
+            specs always execute.
         history: every :class:`RunResult` this session produced, in order.
     """
 
@@ -286,10 +351,12 @@ class Session:
         name: str = "session",
         keep_outputs: bool = False,
         tracer: Tracer | None = None,
+        cache: Any = None,
     ):
         self.name = name
         self.keep_outputs = keep_outputs
         self.tracer = resolve_tracer(tracer)
+        self.cache = cache
         self.history: list[RunResult] = []
 
     # -- the imperative core -------------------------------------------------
@@ -315,26 +382,20 @@ class Session:
         engine = resolve_backend(backend)
         resolved = None if scenario is None else resolve_scenario(scenario)
         active_tracer = self.tracer if tracer is None else resolve_tracer(tracer)
-        if active_tracer.enabled:
-            return engine.run(
-                graph,
-                factory,
-                max_rounds=max_rounds,
-                phase=phase,
-                metrics=metrics,
-                scenario=resolved,
-                tracer=active_tracer,
-            )
-        # Untraced: keep the historical call shape so custom Backend
-        # subclasses that predate the ``tracer`` keyword keep working.
-        return engine.run(
-            graph,
-            factory,
+        kwargs: dict[str, Any] = dict(
             max_rounds=max_rounds,
             phase=phase,
             metrics=metrics,
             scenario=resolved,
         )
+        # Backends that declare ``tracer=`` always see the resolved tracer
+        # (the null tracer when tracing is off) so a custom backend cannot
+        # observe a traced/untraced difference in its call shape; backends
+        # that predate the keyword are never passed it and simply run
+        # untraced.
+        if _backend_accepts_tracer(engine):
+            kwargs["tracer"] = active_tracer
+        return engine.run(graph, factory, **kwargs)
 
     # -- declarative execution -----------------------------------------------
 
@@ -348,6 +409,56 @@ class Session:
         seed: int,
         cell_index: int = 0,
     ) -> RunResult:
+        """One cell: serve from the cache when possible, else execute.
+
+        The cache key is the spec's deterministic
+        :meth:`~ExperimentSpec.cell_digest` (``None`` for non-portable
+        cells, which always execute).  A session that pins raw outputs
+        (``keep_outputs``) treats cached results without outputs as misses
+        so replays never silently lose data.
+        """
+        digest: str | None = None
+        if self.cache is not None:
+            digest = spec.cell_digest(
+                backend=backend, scenario=scenario, seed=seed
+            )
+        if digest is not None:
+            cached = self.cache.get(digest)
+            if cached is not None and not (
+                self.keep_outputs and cached.outputs is None
+            ):
+                result = replace(
+                    cached, cell_index=cell_index, spec_name=spec.name,
+                    scenario_name=scenario_label(scenario),
+                )
+                if self.tracer.enabled:
+                    self.tracer.cell_end(
+                        digest, spec=spec.name, seed=seed,
+                        seconds=0.0, cached=True,
+                    )
+                self.history.append(result)
+                return result
+        result = self._execute_cell(
+            spec, graph,
+            backend=backend, scenario=scenario, seed=seed,
+            cell_index=cell_index, digest=digest,
+        )
+        if digest is not None:
+            self.cache.put(digest, result)
+        self.history.append(result)
+        return result
+
+    def _execute_cell(
+        self,
+        spec: ExperimentSpec,
+        graph: nx.Graph,
+        *,
+        backend: Any,
+        scenario: Any,
+        seed: int,
+        cell_index: int = 0,
+        digest: str | None = None,
+    ) -> RunResult:
         engine = spec._build_backend(backend)
         concrete = spec._build_scenario(seed=seed, scenario=scenario)
         kind = spec.workload_kind()
@@ -355,7 +466,18 @@ class Session:
 
         tracer = self.tracer
         traced = tracer.enabled
+        if traced:
+            tracer.cell_begin(
+                digest, spec=spec.name, backend=engine.name, seed=seed
+            )
         spans_before = dict(tracer.span_totals()) if traced else {}
+        engine_kwargs: dict[str, Any] = dict(
+            max_rounds=spec.max_rounds, phase=spec.name, scenario=concrete
+        )
+        # Same contract as :meth:`execute`: tracer-aware backends always
+        # receive the resolved tracer, legacy backends never do.
+        if _backend_accepts_tracer(engine):
+            engine_kwargs["tracer"] = tracer
         seconds: list[float] = []
         run: SynchronousRun | None = None
         signature: tuple | None = None
@@ -370,23 +492,8 @@ class Session:
                         max_rounds=spec.max_rounds,
                         session=self,
                     )
-                elif traced:
-                    candidate = engine.run(
-                        graph,
-                        workload,
-                        max_rounds=spec.max_rounds,
-                        phase=spec.name,
-                        scenario=concrete,
-                        tracer=tracer,
-                    )
                 else:
-                    candidate = engine.run(
-                        graph,
-                        workload,
-                        max_rounds=spec.max_rounds,
-                        phase=spec.name,
-                        scenario=concrete,
-                    )
+                    candidate = engine.run(graph, workload, **engine_kwargs)
             seconds.append(time.perf_counter() - start)
             current = (
                 candidate.rounds, candidate.metrics.messages,
@@ -401,14 +508,6 @@ class Session:
                 )
             run, signature = candidate, current
 
-        if isinstance(scenario, tuple) and len(scenario) == 2:
-            scenario_label = scenario[0]
-        elif isinstance(scenario, str):
-            scenario_label = scenario
-        else:
-            # A live instance (or None) has no registry name; by_cell and
-            # the reports fall back to the instance's describe() string.
-            scenario_label = None
         timings: dict[str, float] = {}
         if traced:
             # The cell's per-layer time budget: the growth of the tracer's
@@ -427,7 +526,7 @@ class Session:
             scenario=(
                 concrete.describe() if concrete is not None else "CleanSynchronous"
             ),
-            scenario_name=scenario_label,
+            scenario_name=scenario_label(scenario),
             seed=seed,
             n=graph.number_of_nodes(),
             edges=graph.number_of_edges(),
@@ -442,7 +541,11 @@ class Session:
             cell_index=cell_index,
             timings=timings,
         )
-        self.history.append(result)
+        if traced:
+            tracer.cell_end(
+                digest, spec=spec.name, seed=seed,
+                seconds=result.best_seconds, cached=False,
+            )
         return result
 
     def run(self, spec: ExperimentSpec) -> RunResult:
@@ -493,3 +596,50 @@ class Session:
                         )
                     )
         return results
+
+
+_SPEC_DEFAULT = object()
+
+
+def run_cell(
+    spec: ExperimentSpec,
+    *,
+    backend: Any = _SPEC_DEFAULT,
+    scenario: Any = _SPEC_DEFAULT,
+    seed: int | None = None,
+    cell_index: int = 0,
+    graph: nx.Graph | None = None,
+    keep_outputs: bool = False,
+    tracer: Tracer | None = None,
+    cache: Any = None,
+) -> RunResult:
+    """Execute one experiment cell without a long-lived session.
+
+    This is the server-callable unit under :meth:`Session.grid`: the
+    experiment service's pool workers reconstruct a spec from JSON and call
+    this per cell.  ``backend`` / ``scenario`` accept exactly the grid-cell
+    forms (registry name, ``(name, params)`` pair, instance, class, or
+    ``None``) and default to the spec's own; ``seed`` defaults to the
+    spec's first seed.  ``graph`` short-circuits :meth:`ExperimentSpec.
+    build_graph` for callers that share one graph across cells, and
+    ``cache`` plugs a content-addressed result cache in exactly as on
+    :class:`Session`.
+    """
+    if backend is _SPEC_DEFAULT:
+        backend = spec.backend
+    if scenario is _SPEC_DEFAULT:
+        scenario = spec.scenario
+    if seed is None:
+        seed = spec.seeds[0]
+    session = Session(
+        name=f"cell:{spec.name}",
+        keep_outputs=keep_outputs,
+        tracer=tracer,
+        cache=cache,
+    )
+    if graph is None:
+        graph = spec.build_graph()
+    return session._run_cell(
+        spec, graph,
+        backend=backend, scenario=scenario, seed=seed, cell_index=cell_index,
+    )

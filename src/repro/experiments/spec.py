@@ -30,7 +30,9 @@ portable.
 from __future__ import annotations
 
 import functools
+import hashlib
 import inspect
+import json
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -300,6 +302,85 @@ class ExperimentSpec:
         if seed is not None and "seed" not in params and _accepts_seed(cls):
             params["seed"] = seed
         return cls(**params)
+
+    # -- content addressing --------------------------------------------------
+
+    def cell_payload(
+        self, *, backend: Any = _UNSET, scenario: Any = _UNSET,
+        seed: int | None = None,
+    ) -> dict[str, Any] | None:
+        """The canonical JSON description of one cell, or ``None``.
+
+        A cell is everything that determines a :class:`RunResult`'s
+        deterministic fields: graph source + params, workload + params, the
+        cell's backend and scenario resolved to ``(name, params)`` form
+        (with the sweep seed injected exactly as execution injects it),
+        the seed itself, ``repeats``, and ``max_rounds``.  The spec's
+        ``name`` is a label, not an ingredient, so renamed resubmissions of
+        identical cells share cache entries.  Cells involving live objects
+        (an ``nx.Graph``, factory, backend, or scenario instance) are not
+        content-addressable and return ``None``.
+        """
+        if not isinstance(self.graph, str) or not isinstance(self.workload, str):
+            return None
+        if backend is _UNSET:
+            backend = self.backend
+        if scenario is _UNSET:
+            scenario = self.scenario
+        if seed is None:
+            seed = self.seeds[0]
+        backend_params = (
+            dict(self.backend_params) if backend == self.backend else {}
+        )
+        if isinstance(backend, tuple) and len(backend) == 2:
+            backend, backend_params = backend[0], dict(backend[1])
+        if backend is None:
+            backend, backend_params = "reference", {}
+        if not isinstance(backend, str):
+            return None
+        scenario_params = (
+            dict(self.scenario_params) if scenario == self.scenario else {}
+        )
+        if isinstance(scenario, tuple) and len(scenario) == 2:
+            scenario, scenario_params = scenario[0], dict(scenario[1])
+        if scenario is None:
+            # ``scenario=None`` and ``scenario="clean"`` execute the same
+            # clean synchronous delivery; normalise so they share entries.
+            scenario, scenario_params = "clean", {}
+        if not isinstance(scenario, str):
+            return None
+        cls = scenario_registry.get(scenario)
+        if "seed" not in scenario_params and _accepts_seed(cls):
+            scenario_params["seed"] = seed
+        return {
+            "v": 1,
+            "graph": {"source": self.graph, "params": dict(self.graph_params)},
+            "workload": {
+                "name": self.workload, "params": dict(self.workload_params)
+            },
+            "backend": {"name": backend, "params": backend_params},
+            "scenario": {"name": scenario, "params": scenario_params},
+            "seed": seed,
+            "repeats": self.repeats,
+            "max_rounds": self.max_rounds,
+        }
+
+    def cell_digest(
+        self, *, backend: Any = _UNSET, scenario: Any = _UNSET,
+        seed: int | None = None,
+    ) -> str | None:
+        """Deterministic content address of one cell (``None`` if live).
+
+        The key of the experiment service's result cache: two submissions
+        — any client, any machine — whose :meth:`cell_payload` agree hash
+        to the same digest and are answered by the same cached
+        :class:`~repro.experiments.session.RunResult`.
+        """
+        payload = self.cell_payload(backend=backend, scenario=scenario, seed=seed)
+        if payload is None:
+            return None
+        blob = json.dumps(payload, sort_keys=True, default=repr)
+        return hashlib.sha256(blob.encode()).hexdigest()[:16]
 
     # -- serialisation -------------------------------------------------------
 

@@ -318,6 +318,71 @@ class Tracer:
             }
         )
 
+    # -- experiment-cell / service events --------------------------------------
+
+    def event(self, kind: str, **fields: Any) -> None:
+        """Emit a free-form event of ``kind`` with a ``ts`` stamp.
+
+        The extension point for layers above the engine (the experiment
+        service logs request lifecycle events through it) — same sink,
+        same JSONL/Chrome export path as the typed constructors.
+        """
+        event = {"kind": kind, **fields, "ts": self._now()}
+        self._emit(event)
+
+    def cell_begin(
+        self,
+        digest: str | None,
+        *,
+        spec: str,
+        backend: str | None = None,
+        seed: int | None = None,
+        client: str | None = None,
+    ) -> None:
+        """An experiment cell starts executing.
+
+        ``digest`` is the cell's content address
+        (:meth:`~repro.experiments.ExperimentSpec.cell_digest`; ``None``
+        for non-portable cells).  ``client`` identifies the submitting
+        client when the cell runs inside the experiment service.
+        """
+        event: dict[str, Any] = {
+            "kind": "cell_begin",
+            "digest": digest,
+            "spec": spec,
+            "backend": backend,
+            "seed": seed,
+            "ts": self._now(),
+        }
+        if client is not None:
+            event["client"] = client
+        self._emit(event)
+
+    def cell_end(
+        self,
+        digest: str | None,
+        *,
+        spec: str,
+        seed: int | None = None,
+        seconds: float = 0.0,
+        cached: bool = False,
+        client: str | None = None,
+    ) -> None:
+        """An experiment cell finished (``cached`` = served from the result
+        cache without executing)."""
+        event: dict[str, Any] = {
+            "kind": "cell_end",
+            "digest": digest,
+            "spec": spec,
+            "seed": seed,
+            "seconds": seconds,
+            "cached": cached,
+            "ts": self._now(),
+        }
+        if client is not None:
+            event["client"] = client
+        self._emit(event)
+
     # -- spans ----------------------------------------------------------------
 
     def span(self, name: str) -> Any:
@@ -406,6 +471,15 @@ class NullTracer(Tracer):
         pass
 
     def shm_overflow(self, *args, **kwargs) -> None:
+        pass
+
+    def event(self, *args, **kwargs) -> None:
+        pass
+
+    def cell_begin(self, *args, **kwargs) -> None:
+        pass
+
+    def cell_end(self, *args, **kwargs) -> None:
         pass
 
     def span(self, name: str) -> Any:

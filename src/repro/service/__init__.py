@@ -1,0 +1,64 @@
+"""Long-lived experiment service: server, protocol, result cache, pool.
+
+The "millions of users" story of the ROADMAP: :class:`ExperimentService`
+promotes :class:`~repro.experiments.Session` into a long-lived server that
+accepts :class:`~repro.experiments.ExperimentSpec` JSON over HTTP (or the
+``scripts/reprod.py`` CLI), executes grid cells on a multiprocessing
+:class:`WorkerPool` with fair-share queueing across clients, per-cell
+timeouts, and crash-stop retry, streams per-cell progress events (the
+:mod:`repro.obs` event shapes, one JSON line each), and answers identical
+cells — across requests and across clients — from a content-addressed
+:class:`CellCache` keyed by the spec's deterministic
+:meth:`~repro.experiments.ExperimentSpec.cell_digest`.
+
+Layers, bottom up:
+
+* :mod:`repro.service.cache` — :class:`CellCache`, a thread-safe LRU of
+  :class:`~repro.experiments.RunResult` by cell digest.
+* :mod:`repro.service.pool` — :class:`WorkerPool` / :class:`CellJob`:
+  forked workers each executing one cell at a time via
+  :func:`repro.experiments.session.run_cell`, with a dispatcher thread
+  doing round-robin fair share across clients, deadline enforcement, and
+  bounded requeue of cells whose worker died mid-execution.
+* :mod:`repro.service.protocol` — the JSON wire forms:
+  :class:`SubmitRequest` (spec + optional backend/scenario grid axes),
+  cell enumeration matching :meth:`~repro.experiments.Session.grid` order,
+  and the final typed result reply.
+* :mod:`repro.service.server` — :class:`ExperimentService` (transport-free
+  core) and :class:`ExperimentServer` (the asyncio HTTP front end with
+  NDJSON progress streaming).
+* :mod:`repro.service.client` — :class:`ServiceClient`, the blocking HTTP
+  client the CLI and benchmarks use.
+"""
+
+from repro.service.cache import CellCache
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.pool import (
+    CellCrashed,
+    CellExecutionError,
+    CellJob,
+    CellTimeout,
+    WorkerPool,
+)
+from repro.service.protocol import (
+    CellCoord,
+    ProtocolError,
+    SubmitRequest,
+)
+from repro.service.server import ExperimentServer, ExperimentService
+
+__all__ = [
+    "CellCache",
+    "CellCoord",
+    "CellCrashed",
+    "CellExecutionError",
+    "CellJob",
+    "CellTimeout",
+    "ExperimentServer",
+    "ExperimentService",
+    "ProtocolError",
+    "ServiceClient",
+    "ServiceError",
+    "SubmitRequest",
+    "WorkerPool",
+]

@@ -1,0 +1,91 @@
+"""Content-addressed experiment result cache.
+
+One entry per *cell* — the unit :meth:`repro.experiments.Session.grid`
+executes — keyed by the spec's deterministic
+:meth:`~repro.experiments.ExperimentSpec.cell_digest`.  Because the digest
+covers everything that determines a cell's deterministic fields (graph
+source and parameters, workload, backend and scenario with the sweep seed
+injected, repeats, round cap) and the engine is deterministic, a cached
+:class:`~repro.experiments.RunResult` is *the* result of every future
+submission of the same cell: the service replays it with only the
+positional ``cell_index`` and the submitting spec's label re-stamped,
+and the replayed :meth:`~repro.experiments.ResultSet.digest` is
+byte-identical to a direct execution's.
+
+The cache is a thread-safe LRU: the service's asyncio loop and the worker
+pool's dispatcher thread both touch it, and ``max_entries`` bounds memory
+on long-lived servers (the default is unbounded — a
+:class:`~repro.experiments.RunResult` without pinned outputs is a few
+hundred bytes).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any
+
+from repro.experiments.session import RunResult
+
+
+class CellCache:
+    """Thread-safe LRU of :class:`RunResult` by cell digest.
+
+    Args:
+        max_entries: evict least-recently-used entries beyond this count
+            (``None`` = unbounded).
+    """
+
+    def __init__(self, max_entries: int | None = None):
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1; got {max_entries}")
+        self.max_entries = max_entries
+        self._entries: OrderedDict[str, RunResult] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, digest: str) -> RunResult | None:
+        """The cached result for ``digest``, or ``None`` (counts a miss)."""
+        with self._lock:
+            entry = self._entries.get(digest)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(digest)
+            self.hits += 1
+            return entry
+
+    def put(self, digest: str, result: RunResult) -> None:
+        """Store ``result`` under ``digest`` (refreshes LRU position)."""
+        with self._lock:
+            self._entries[digest] = result
+            self._entries.move_to_end(digest)
+            if self.max_entries is not None:
+                while len(self._entries) > self.max_entries:
+                    self._entries.popitem(last=False)
+                    self.evictions += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, digest: str) -> bool:
+        with self._lock:
+            return digest in self._entries
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> dict[str, Any]:
+        """Hit/miss/eviction counters plus the current entry count."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }

@@ -1,0 +1,109 @@
+"""Blocking HTTP client for the experiment server.
+
+:class:`ServiceClient` is what ``scripts/reprod.py submit`` and the E18
+benchmark use: plain :mod:`http.client` (the server speaks bare HTTP/1.1,
+nothing exotic), reading the ``POST /submit`` NDJSON reply line by line so
+per-cell progress can be observed — or logged — while the grid is still
+running.  The final ``{"kind": "result"}`` line is returned; everything
+before it goes to the ``on_event`` callback.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Callable
+
+from repro.service.protocol import SubmitRequest
+
+
+class ServiceError(RuntimeError):
+    """The server answered with an HTTP error; carries its status code."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServiceClient:
+    """Blocking client bound to one ``host:port``.
+
+    Each call opens its own connection — the server closes the socket at
+    the end of every reply (``Connection: close``), which is also what
+    delimits a progress stream.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8321,
+                 timeout: float | None = None):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    def _request(
+        self, method: str, path: str, body: bytes | None = None
+    ) -> http.client.HTTPResponse:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        headers = {"Content-Type": "application/json"} if body else {}
+        conn.request(method, path, body=body, headers=headers)
+        return conn.getresponse()
+
+    @staticmethod
+    def _json(response: http.client.HTTPResponse) -> dict[str, Any]:
+        raw = response.read()
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            payload = {"error": raw.decode("utf-8", "replace")[:500]}
+        if response.status >= 400:
+            raise ServiceError(
+                response.status, payload.get("error", "unknown error")
+            )
+        return payload
+
+    def healthz(self) -> dict[str, Any]:
+        return self._json(self._request("GET", "/healthz"))
+
+    def status(self) -> dict[str, Any]:
+        """The server's pool / cache / request counters."""
+        return self._json(self._request("GET", "/status"))
+
+    def submit(
+        self,
+        request: SubmitRequest,
+        on_event: Callable[[dict[str, Any]], None] | None = None,
+    ) -> dict[str, Any]:
+        """Submit a request; returns the final ``result`` document.
+
+        With ``request.stream`` (the default) the NDJSON progress lines
+        are parsed as they arrive and handed to ``on_event``; the final
+        ``{"kind": "result"}`` line is the return value.  With ``stream:
+        false`` the single JSON reply is returned directly.
+        """
+        body = json.dumps(request.to_json()).encode("utf-8")
+        response = self._request("POST", "/submit", body)
+        if not request.stream:
+            return self._json(response)
+        if response.status >= 400:
+            return self._json(response)  # raises ServiceError
+        final: dict[str, Any] | None = None
+        while True:
+            line = response.readline()
+            if not line:
+                break
+            line = line.strip()
+            if not line:
+                continue
+            event = json.loads(line.decode("utf-8"))
+            if event.get("kind") == "result":
+                final = event
+            elif on_event is not None:
+                on_event(event)
+        if final is None:
+            raise ServiceError(
+                response.status,
+                "progress stream ended without a final result "
+                "(server died mid-request?)",
+            )
+        return final

@@ -1,0 +1,476 @@
+"""The experiment server: service core plus asyncio HTTP front end.
+
+:class:`ExperimentService` is the transport-free core — it turns one
+validated :class:`~repro.service.protocol.SubmitRequest` into a stream of
+progress events and a final result document, answering each enumerated
+cell from the content-addressed :class:`~repro.service.cache.CellCache`
+when its digest is already known and from the
+:class:`~repro.service.pool.WorkerPool` otherwise.  Cells are assembled
+back into a :class:`~repro.experiments.ResultSet` in
+:meth:`~repro.experiments.Session.grid` order, so a served grid's
+:meth:`~repro.experiments.ResultSet.digest` is byte-identical to a direct
+in-process grid of the same spec — whether the cells were executed or
+replayed from cache.
+
+:class:`ExperimentServer` puts the service behind a hand-rolled
+HTTP/1.1 endpoint on :func:`asyncio.start_server` (the container's
+toolchain has no HTTP framework, and the protocol needs exactly three
+routes):
+
+* ``GET /healthz`` — liveness.
+* ``GET /status`` — pool, cache, and request counters.
+* ``POST /submit`` — a :class:`SubmitRequest` body; the reply streams
+  newline-delimited JSON progress events (``Content-Type:
+  application/x-ndjson``, ``Connection: close`` — the stream ends when
+  the socket does) terminated by the final ``{"kind": "result"}`` line,
+  or a single JSON document when the request sets ``stream: false``.
+
+Per-cell failures (worker crash after retries, deadline, workload
+exception) never fail the grid: the failed cell's row is absent from the
+result set and the failure is listed — typed — under ``failures``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from dataclasses import replace
+from typing import Any, Awaitable, Callable
+
+from repro.obs import Tracer
+from repro.service.cache import CellCache
+from repro.service.pool import (
+    CellCrashed,
+    CellExecutionError,
+    CellJob,
+    CellTimeout,
+    WorkerPool,
+    make_payload,
+)
+from repro.service.protocol import CellCoord, ProtocolError, SubmitRequest
+
+from repro.experiments.session import ResultSet, RunResult, scenario_label
+
+Emit = Callable[[dict[str, Any]], Awaitable[None]]
+
+
+async def _null_emit(event: dict[str, Any]) -> None:
+    return None
+
+
+class ExperimentService:
+    """Transport-free request handler: cache check, pool dispatch, assembly.
+
+    Args:
+        pool: the (started) cell-execution pool.
+        cache: the content-addressed result cache (a fresh unbounded
+            :class:`CellCache` when omitted).
+        default_timeout: per-cell budget applied to requests that carry
+            none (``None`` = unlimited).
+        tracer: optional :class:`repro.obs.Tracer`; every progress event
+            the service emits to clients is mirrored into it, so a
+            :class:`~repro.obs.JsonlTracer` gives the server a durable
+            progress log.
+    """
+
+    def __init__(
+        self,
+        pool: WorkerPool,
+        cache: CellCache | None = None,
+        default_timeout: float | None = None,
+        tracer: Tracer | None = None,
+    ):
+        self.pool = pool
+        self.cache = cache if cache is not None else CellCache()
+        self.default_timeout = default_timeout
+        self.tracer = tracer
+        self.requests = 0
+        self.started_at = time.time()
+
+    # -- observability -------------------------------------------------------
+
+    def _trace(self, event: dict[str, Any]) -> None:
+        if self.tracer is None or not self.tracer.enabled:
+            return
+        fields = {k: v for k, v in event.items() if k != "kind"}
+        self.tracer.event(event["kind"], **fields)
+
+    def status(self) -> dict[str, Any]:
+        return {
+            "ok": True,
+            "uptime_seconds": round(time.time() - self.started_at, 3),
+            "requests": self.requests,
+            "pool": self.pool.stats(),
+            "cache": self.cache.stats(),
+        }
+
+    # -- the submit path -----------------------------------------------------
+
+    async def handle_submit(
+        self, request: SubmitRequest, emit: Emit = _null_emit
+    ) -> dict[str, Any]:
+        """Execute one submission; emits progress, returns the final reply.
+
+        Every emitted event is a plain JSON-ready dict with a ``kind``
+        key — the :mod:`repro.obs` cell-event shapes (``cell_begin``,
+        ``cell_end`` with a ``cached`` flag, ``cell_failed``) bracketed
+        by ``accepted`` and the final ``result`` object this method also
+        returns.
+        """
+        self.requests += 1
+        spec = request.build_spec()
+        cells = request.enumerate_cells(spec)
+        spec_json = spec.to_json()
+        timeout = (
+            request.timeout if request.timeout is not None else self.default_timeout
+        )
+
+        accepted = {
+            "kind": "accepted",
+            "client": request.client,
+            "spec": spec.name,
+            "cells": len(cells),
+            "ts": time.time(),
+        }
+        self._trace(accepted)
+        await emit(accepted)
+
+        cached_results: dict[int, RunResult] = {}
+        misses: list[tuple[int, CellCoord]] = []
+        for position, coord in enumerate(cells):
+            hit = (
+                self.cache.get(coord.digest) if coord.digest is not None else None
+            )
+            if hit is not None:
+                result = replace(
+                    hit, spec_name=spec.name, cell_index=coord.cell_index,
+                    scenario_name=scenario_label(coord.scenario),
+                )
+                cached_results[position] = result
+                event = {
+                    "kind": "cell_end",
+                    "client": request.client,
+                    "spec": spec.name,
+                    "cached": True,
+                    "seconds": 0.0,
+                    "seed": coord.seed,
+                    "ts": time.time(),
+                    **coord.describe(),
+                }
+                self._trace(event)
+                await emit(event)
+            else:
+                misses.append((position, coord))
+
+        async def execute(position: int, coord: CellCoord):
+            job = CellJob(
+                client=request.client,
+                payload=make_payload(
+                    spec_json,
+                    backend=coord.backend,
+                    scenario=coord.scenario,
+                    seed=coord.seed,
+                    cell_index=coord.cell_index,
+                ),
+                digest=coord.digest,
+                timeout=timeout,
+                max_attempts=self.pool.max_attempts,
+            )
+            future = self.pool.submit(job)
+            begin = {
+                "kind": "cell_begin",
+                "client": request.client,
+                "spec": spec.name,
+                "seed": coord.seed,
+                "ts": time.time(),
+                **coord.describe(),
+            }
+            self._trace(begin)
+            await emit(begin)
+            started = time.monotonic()
+            try:
+                result = await asyncio.wrap_future(future)
+            except (CellExecutionError, CellCrashed, CellTimeout) as exc:
+                failure = {
+                    "kind": "cell_failed",
+                    "client": request.client,
+                    "spec": spec.name,
+                    "error": type(exc).__name__,
+                    "message": str(exc),
+                    "ts": time.time(),
+                    **coord.describe(),
+                }
+                self._trace(failure)
+                await emit(failure)
+                return position, coord, None, exc
+            if coord.digest is not None:
+                self.cache.put(coord.digest, result)
+            end = {
+                "kind": "cell_end",
+                "client": request.client,
+                "spec": spec.name,
+                "cached": False,
+                "seconds": round(time.monotonic() - started, 6),
+                "ts": time.time(),
+                **coord.describe(),
+            }
+            self._trace(end)
+            await emit(end)
+            return position, coord, result, None
+
+        failures: list[dict[str, Any]] = []
+        executed: dict[int, RunResult] = {}
+        if misses:
+            outcomes = await asyncio.gather(
+                *(execute(position, coord) for position, coord in misses)
+            )
+            for position, coord, result, error in outcomes:
+                if error is not None:
+                    failures.append(
+                        {
+                            "cell": coord.describe(),
+                            "error": type(error).__name__,
+                            "message": str(error),
+                        }
+                    )
+                else:
+                    executed[position] = result
+
+        resultset = ResultSet(experiment=spec.name, workload=str(spec.workload))
+        for position in range(len(cells)):
+            result = cached_results.get(position) or executed.get(position)
+            if result is not None:
+                resultset.results.append(result)
+
+        reply = {
+            "kind": "result",
+            "client": request.client,
+            "experiment": spec.name,
+            "cells": len(cells),
+            "cached": len(cached_results),
+            "executed": len(executed),
+            "failed": len(failures),
+            "failures": failures,
+            "digest": resultset.digest(),
+            "resultset": resultset.to_json(),
+            "cache": self.cache.stats(),
+            "ts": time.time(),
+        }
+        self._trace(
+            {
+                "kind": "result",
+                "client": request.client,
+                "experiment": spec.name,
+                "cells": len(cells),
+                "cached": len(cached_results),
+                "executed": len(executed),
+                "failed": len(failures),
+                "digest": reply["digest"],
+                "ts": reply["ts"],
+            }
+        )
+        return reply
+
+
+_MAX_BODY = 64 * 1024 * 1024
+_MAX_HEADER_LINES = 200
+
+
+class ExperimentServer:
+    """Asyncio HTTP/1.1 front end for an :class:`ExperimentService`.
+
+    ``port=0`` binds an ephemeral port; :attr:`port` holds the bound one
+    after :meth:`start` (or :meth:`start_in_background`, which runs the
+    loop on a daemon thread for tests, benchmarks, and the CLI client's
+    in-process mode).
+    """
+
+    def __init__(
+        self, service: ExperimentService, host: str = "127.0.0.1", port: int = 0
+    ):
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._stopped: asyncio.Event | None = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> "ExperimentServer":
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        self._loop = asyncio.get_running_loop()
+        self._stopped = asyncio.Event()
+        try:
+            await self._stopped.wait()
+        finally:
+            self._server.close()
+            await self._server.wait_closed()
+
+    def start_in_background(self) -> "ExperimentServer":
+        """Run the server loop on a daemon thread; returns once bound."""
+        ready = threading.Event()
+
+        def runner() -> None:
+            async def main() -> None:
+                await self.start()
+                ready.set()
+                await self.serve_forever()
+
+            asyncio.run(main())
+
+        self._thread = threading.Thread(
+            target=runner, name="experiment-server", daemon=True
+        )
+        self._thread.start()
+        if not ready.wait(timeout=30):  # pragma: no cover - startup hang
+            raise RuntimeError("experiment server failed to start within 30s")
+        return self
+
+    def stop(self) -> None:
+        if self._loop is not None and self._stopped is not None:
+            self._loop.call_soon_threadsafe(self._stopped.set)
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+            self._thread = None
+
+    # -- HTTP plumbing -------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                method, path, headers = await self._read_head(reader)
+            except (asyncio.IncompleteReadError, ConnectionError, ValueError):
+                return
+            body = b""
+            length = int(headers.get("content-length", "0") or "0")
+            if length:
+                if length > _MAX_BODY:
+                    await self._respond_json(
+                        writer, 413, {"error": "request body too large"}
+                    )
+                    return
+                body = await reader.readexactly(length)
+            await self._route(method, path, body, writer)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except Exception as exc:  # pragma: no cover - last-resort guard
+            try:
+                await self._respond_json(
+                    writer, 500, {"error": f"{type(exc).__name__}: {exc}"}
+                )
+            except ConnectionError:
+                pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    @staticmethod
+    async def _read_head(
+        reader: asyncio.StreamReader,
+    ) -> tuple[str, str, dict[str, str]]:
+        request_line = (await reader.readline()).decode("latin-1").strip()
+        if not request_line:
+            raise ValueError("empty request")
+        parts = request_line.split()
+        if len(parts) < 2:
+            raise ValueError(f"malformed request line: {request_line!r}")
+        method, path = parts[0].upper(), parts[1]
+        headers: dict[str, str] = {}
+        for _ in range(_MAX_HEADER_LINES):
+            line = (await reader.readline()).decode("latin-1")
+            if line in ("\r\n", "\n", ""):
+                break
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        else:
+            raise ValueError("too many header lines")
+        return method, path, headers
+
+    async def _route(
+        self, method: str, path: str, body: bytes, writer: asyncio.StreamWriter
+    ) -> None:
+        path = path.split("?", 1)[0]
+        if method == "GET" and path == "/healthz":
+            await self._respond_json(writer, 200, {"ok": True})
+        elif method == "GET" and path == "/status":
+            await self._respond_json(writer, 200, self.service.status())
+        elif method == "POST" and path == "/submit":
+            await self._handle_submit(body, writer)
+        else:
+            await self._respond_json(
+                writer,
+                404,
+                {"error": f"no route for {method} {path}"},
+            )
+
+    async def _handle_submit(
+        self, body: bytes, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            await self._respond_json(
+                writer, 400, {"error": f"request body is not JSON: {exc}"}
+            )
+            return
+        try:
+            request = SubmitRequest.from_json(payload)
+            spec_check = request.build_spec()
+            del spec_check
+        except ProtocolError as exc:
+            await self._respond_json(writer, 400, {"error": str(exc)})
+            return
+
+        if not request.stream:
+            reply = await self.service.handle_submit(request)
+            await self._respond_json(writer, 200, reply)
+            return
+
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: application/x-ndjson\r\n"
+            b"Cache-Control: no-store\r\n"
+            b"Connection: close\r\n"
+            b"\r\n"
+        )
+        await writer.drain()
+
+        async def emit(event: dict[str, Any]) -> None:
+            writer.write(json.dumps(event, default=repr).encode() + b"\n")
+            await writer.drain()
+
+        reply = await self.service.handle_submit(request, emit)
+        await emit(reply)
+
+    @staticmethod
+    async def _respond_json(
+        writer: asyncio.StreamWriter, status: int, payload: dict[str, Any]
+    ) -> None:
+        reasons = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                   413: "Payload Too Large", 500: "Internal Server Error"}
+        body = json.dumps(payload, default=repr).encode()
+        head = (
+            f"HTTP/1.1 {status} {reasons.get(status, 'Unknown')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n"
+        ).encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()

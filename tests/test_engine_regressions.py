@@ -497,3 +497,26 @@ def test_adversarial_delay_same_seed_reproduces_identical_runs():
         )
     )
     assert first == second
+
+
+def test_column_writer_rejects_unknown_sender_and_receiver():
+    """Both halves of the dense vertex index give the engine's standard
+    ``ValueError`` diagnostic — a bare ``KeyError`` from the index lookup
+    would make the error depend on the transport (regression: the sender
+    column used a plain ``index[message.sender]``)."""
+    from repro.congest.message import Message
+    from repro.engine.shm import ColumnBlock, ColumnWriter
+
+    block = ColumnBlock(rows_capacity=4, arena_capacity=64)
+    try:
+        writer = ColumnWriter(block, {0: 0, 1: 1})
+        with pytest.raises(ValueError, match="non-neighbour.*ghost"):
+            writer.encode([Message(0, "ghost", "t", 1)])
+        with pytest.raises(ValueError, match="unknown sender.*ghost"):
+            writer.encode([Message("ghost", 1, "t", 1)])
+        # The writer stays usable after a rejected batch.
+        ok = writer.encode([Message(0, 1, "t", 1)])
+        assert ok is not None
+    finally:
+        block.close()
+        block.unlink()

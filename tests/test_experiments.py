@@ -583,3 +583,162 @@ class TestComposedScenarioSpecs:
 
         with pytest.raises(ValueError, match="not a registered"):
             ComposedScenario.overlay(Anonymous()).spec_params()
+
+
+class _ReprLeaf:
+    """Hashable leaf with a fully controlled ``repr`` (vertex-id stand-in).
+
+    Vertex identifiers and per-vertex outputs are arbitrary hashables, so
+    their ``repr`` can contain the very separators a canonical container
+    encoding uses internally.
+    """
+
+    def __init__(self, text: str):
+        self.text = text
+
+    def __repr__(self) -> str:
+        return self.text
+
+    def __hash__(self) -> int:
+        return hash(self.text)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, _ReprLeaf) and self.text == other.text
+
+
+class TestCanonicalReprUnambiguous:
+    """Regression: the old dict/set encoding joined entry strings with
+    bare ``:`` / ``,`` separators, so leaves whose reprs contain those
+    characters collided — two different outputs, one digest.  The fixed
+    encoding length-prefixes every element, making boundaries explicit."""
+
+    def test_dict_key_value_boundary_collision(self):
+        from repro.experiments.session import _canonical_repr
+
+        # Old encoding: both rendered the entry string "a:b:c".
+        a = {_ReprLeaf("a"): _ReprLeaf("b:c")}
+        b = {_ReprLeaf("a:b"): _ReprLeaf("c")}
+        assert _canonical_repr(a) != _canonical_repr(b)
+
+    def test_set_element_boundary_collision(self):
+        from repro.experiments.session import _canonical_repr
+
+        # Old encoding: both sorted-joined to "a,b,c".
+        a = {_ReprLeaf("a"), _ReprLeaf("b,c")}
+        b = {_ReprLeaf("a,b"), _ReprLeaf("c")}
+        assert _canonical_repr(a) != _canonical_repr(b)
+
+    def test_multi_entry_dict_boundary_collision(self):
+        from repro.experiments.session import _canonical_repr
+
+        # Old encoding: both sorted-joined to "k:v,x,y:z".
+        a = {_ReprLeaf("k"): _ReprLeaf("v,x"), _ReprLeaf("y"): _ReprLeaf("z")}
+        b = {_ReprLeaf("k"): _ReprLeaf("v"), _ReprLeaf("x,y"): _ReprLeaf("z")}
+        assert _canonical_repr(a) != _canonical_repr(b)
+
+    def test_output_digests_distinguish_colliding_containers(self):
+        from repro.experiments.session import _digest_outputs
+
+        a = _digest_outputs({0: {_ReprLeaf("a"): _ReprLeaf("b:c")}})
+        b = _digest_outputs({0: {_ReprLeaf("a:b"): _ReprLeaf("c")}})
+        assert a != b
+
+    def test_plain_containers_still_digest_deterministically(self):
+        from repro.experiments.session import _canonical_repr
+
+        assert _canonical_repr({"b": 2, "a": 1}) == _canonical_repr(
+            {"a": 1, "b": 2}
+        )
+        assert _canonical_repr({3, 1, 2}) == _canonical_repr({1, 2, 3})
+        assert _canonical_repr({"a": 1}) != _canonical_repr({"a": 2})
+
+
+class TestTracerForwarding:
+    """Regression: ``Session.execute`` must hand tracer-aware backends the
+    *resolved* tracer on every call — the null tracer when tracing is off —
+    so a custom backend sees one call shape; legacy backends that predate
+    the keyword are never passed it."""
+
+    def _graph(self):
+        return nx.path_graph(4)
+
+    def _factory(self):
+        from repro.baselines.naive import FloodMinimum
+
+        return FloodMinimum
+
+    def test_untraced_session_passes_null_tracer(self):
+        from repro.congest.metrics import CongestMetrics
+        from repro.congest.network import SynchronousRun
+        from repro.engine.backend import Backend
+        from repro.obs import NullTracer
+
+        seen = {}
+
+        class TracerProbe(Backend):
+            name = "tracer-probe"
+
+            def run(self, graph, factory, *, max_rounds=10_000,
+                    phase="simulated", metrics=None, scenario=None,
+                    tracer=None):
+                seen["tracer"] = tracer
+                return SynchronousRun(
+                    rounds=1, metrics=CongestMetrics(), outputs={},
+                    halted=True,
+                )
+
+        Session().execute(self._graph(), self._factory(),
+                          backend=TracerProbe())
+        assert isinstance(seen["tracer"], NullTracer)
+
+    def test_traced_session_passes_its_tracer(self):
+        from repro.congest.metrics import CongestMetrics
+        from repro.congest.network import SynchronousRun
+        from repro.engine.backend import Backend
+        from repro.obs import RecordingTracer
+
+        seen = {}
+
+        class TracerProbe(Backend):
+            name = "tracer-probe"
+
+            def run(self, graph, factory, *, max_rounds=10_000,
+                    phase="simulated", metrics=None, scenario=None,
+                    tracer=None):
+                seen["tracer"] = tracer
+                return SynchronousRun(
+                    rounds=1, metrics=CongestMetrics(), outputs={},
+                    halted=True,
+                )
+
+        recording = RecordingTracer()
+        Session(tracer=recording).execute(
+            self._graph(), self._factory(), backend=TracerProbe()
+        )
+        assert seen["tracer"] is recording
+
+    def test_legacy_backend_without_tracer_keyword_still_runs(self):
+        from repro.congest.metrics import CongestMetrics
+        from repro.congest.network import SynchronousRun
+        from repro.engine.backend import Backend
+        from repro.obs import RecordingTracer
+
+        seen = {}
+
+        class Legacy(Backend):
+            name = "legacy-probe"
+
+            def run(self, graph, factory, *, max_rounds=10_000,
+                    phase="simulated", metrics=None, scenario=None):
+                seen["called"] = True
+                return SynchronousRun(
+                    rounds=1, metrics=CongestMetrics(), outputs={},
+                    halted=True,
+                )
+
+        # Even a *traced* session must not explode on a legacy backend:
+        # it simply runs untraced.
+        Session(tracer=RecordingTracer()).execute(
+            self._graph(), self._factory(), backend=Legacy()
+        )
+        assert seen["called"]

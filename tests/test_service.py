@@ -1,0 +1,402 @@
+"""Tests of the experiment service: digests, cache, protocol, server."""
+
+import asyncio
+import json
+import multiprocessing
+
+import pytest
+
+from repro.experiments import ExperimentSpec, ResultSet, Session
+from repro.experiments.session import RunResult, run_cell
+from repro.service import (
+    CellCache,
+    ExperimentServer,
+    ExperimentService,
+    ProtocolError,
+    ServiceClient,
+    ServiceError,
+    SubmitRequest,
+    WorkerPool,
+)
+
+_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+SPEC_KWARGS = dict(
+    name="svc-unit",
+    graph="erdos-renyi",
+    graph_params={"n": 24, "avg_degree": 5.0, "seed": 3},
+    workload="flood-min",
+    backend="reference",
+    seeds=(0, 1),
+    max_rounds=2_000,
+)
+
+
+def make_spec(**overrides):
+    return ExperimentSpec(**{**SPEC_KWARGS, **overrides})
+
+
+class TestCellDigest:
+    def test_digest_is_stable_across_json_round_trip(self):
+        spec = make_spec()
+        rebuilt = ExperimentSpec.from_json(spec.to_json())
+        assert spec.cell_digest(seed=0) == rebuilt.cell_digest(seed=0)
+
+    def test_spec_name_is_excluded(self):
+        # Renamed resubmissions of identical work must share cache entries.
+        assert make_spec().cell_digest(seed=0) == make_spec(
+            name="renamed"
+        ).cell_digest(seed=0)
+
+    def test_every_identity_field_changes_the_digest(self):
+        base = make_spec().cell_digest(seed=0)
+        assert make_spec().cell_digest(seed=1) != base
+        assert make_spec(max_rounds=999).cell_digest(seed=0) != base
+        assert make_spec(repeats=2).cell_digest(seed=0) != base
+        assert (
+            make_spec(graph_params={"n": 25, "avg_degree": 5.0, "seed": 3})
+            .cell_digest(seed=0) != base
+        )
+        assert make_spec().cell_digest(backend="vectorized", seed=0) != base
+        assert (
+            make_spec().cell_digest(
+                scenario=("link-drop", {"drop_probability": 0.1}), seed=0
+            ) != base
+        )
+
+    def test_none_scenario_equals_clean(self):
+        spec = make_spec()
+        assert spec.cell_digest(scenario=None, seed=0) == spec.cell_digest(
+            scenario="clean", seed=0
+        )
+
+    def test_live_objects_are_not_digestable(self):
+        import networkx as nx
+
+        spec = make_spec(graph=nx.path_graph(4), graph_params={})
+        assert spec.cell_digest(seed=0) is None
+
+    def test_scenario_params_distinguish_cells(self):
+        spec = make_spec()
+        a = spec.cell_digest(
+            scenario=("link-drop", {"drop_probability": 0.1}), seed=0
+        )
+        b = spec.cell_digest(
+            scenario=("link-drop", {"drop_probability": 0.2}), seed=0
+        )
+        assert a != b
+
+
+def _row(seed=0, **overrides):
+    kwargs = dict(
+        spec_name="svc-unit",
+        workload="flood-min",
+        backend="reference",
+        scenario="CleanSynchronous",
+        scenario_name=None,
+        seed=seed,
+        n=4,
+        edges=3,
+        rounds=3,
+        messages=12,
+        words=12,
+        dropped=0,
+        halted=True,
+        seconds=(0.001,),
+        output_digest="d" * 16,
+    )
+    kwargs.update(overrides)
+    return RunResult(**kwargs)
+
+
+class TestCellCache:
+    def test_hit_miss_counters(self):
+        cache = CellCache()
+        assert cache.get("a" * 16) is None
+        cache.put("a" * 16, _row())
+        assert cache.get("a" * 16).seed == 0
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["misses"] == 1
+        assert "a" * 16 in cache
+        assert len(cache) == 1
+
+    def test_lru_eviction_order(self):
+        cache = CellCache(max_entries=2)
+        cache.put("k1", _row(seed=1))
+        cache.put("k2", _row(seed=2))
+        assert cache.get("k1") is not None  # refresh k1; k2 is now LRU
+        cache.put("k3", _row(seed=3))
+        assert "k2" not in cache
+        assert "k1" in cache and "k3" in cache
+        assert cache.stats()["evictions"] == 1
+
+    def test_clear(self):
+        cache = CellCache()
+        cache.put("k", _row())
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_invalid_bound_rejected(self):
+        with pytest.raises(ValueError, match="max_entries"):
+            CellCache(max_entries=0)
+
+
+class TestSessionCache:
+    def test_grid_replays_from_cache_with_identical_digest(self):
+        spec = make_spec()
+        scenarios = [None, ("link-drop", {"drop_probability": 0.1})]
+        cache = CellCache()
+        cold = Session(name="cold", cache=cache).grid(spec, scenarios=scenarios)
+        hits_before = cache.stats()["hits"]
+        warm = Session(name="warm", cache=cache).grid(spec, scenarios=scenarios)
+        assert cache.stats()["hits"] - hits_before == len(cold)
+        assert warm.digest() == cold.digest()
+        # And identical to an uncached session's digest.
+        direct = Session(name="direct").grid(spec, scenarios=scenarios)
+        assert direct.digest() == cold.digest()
+
+    def test_renamed_spec_reuses_cache_and_restamps(self):
+        cache = CellCache()
+        Session(cache=cache).run(make_spec())
+        result = Session(cache=cache).run(make_spec(name="renamed"))
+        assert cache.stats()["hits"] == 1
+        assert result.spec_name == "renamed"
+
+    def test_replay_restamps_scenario_label_for_equivalent_spelling(self):
+        # "clean" and None digest to the same cell, so a replay must carry
+        # the *current* axis spelling's label — not the label stamped when
+        # the cell originally executed.
+        spec = make_spec()
+        cache = CellCache()
+        named = Session(cache=cache).grid(spec, scenarios=["clean"])
+        assert named.results[0].scenario_name == "clean"
+        replayed = Session(cache=cache).grid(spec, scenarios=[None])
+        assert cache.stats()["hits"] == len(replayed)
+        assert all(r.scenario_name is None for r in replayed)
+        direct = Session().grid(spec, scenarios=[None])
+        assert replayed.digest() == direct.digest()
+
+    def test_keep_outputs_session_treats_outputless_entries_as_miss(self):
+        cache = CellCache()
+        Session(cache=cache).run(make_spec())  # caches without outputs
+        kept = Session(cache=cache, keep_outputs=True).run(make_spec())
+        assert kept.outputs is not None  # re-executed, not a blind replay
+
+    def test_live_spec_cells_always_execute(self):
+        import networkx as nx
+
+        cache = CellCache()
+        spec = make_spec(graph=nx.path_graph(6), graph_params={})
+        Session(cache=cache).run(spec)
+        Session(cache=cache).run(spec)
+        assert len(cache) == 0
+
+
+class TestRunCell:
+    def test_matches_session_run(self):
+        spec = make_spec()
+        direct = Session().run(spec)
+        standalone = run_cell(spec)
+        assert standalone.signature() == direct.signature()
+
+    def test_accepts_grid_cell_forms_and_cache(self):
+        spec = make_spec()
+        cache = CellCache()
+        first = run_cell(
+            spec,
+            backend="reference",
+            scenario=("link-drop", {"drop_probability": 0.1}),
+            seed=1,
+            cache=cache,
+        )
+        again = run_cell(
+            spec,
+            backend="reference",
+            scenario=("link-drop", {"drop_probability": 0.1}),
+            seed=1,
+            cache=cache,
+        )
+        assert cache.stats()["hits"] == 1
+        assert again.signature() == first.signature()
+
+
+class TestProtocol:
+    def test_round_trip(self):
+        request = SubmitRequest(
+            spec=make_spec().to_json(),
+            client="tester",
+            scenarios=[None, ("link-drop", {"drop_probability": 0.1})],
+            timeout=5.0,
+        )
+        rebuilt = SubmitRequest.from_json(
+            json.loads(json.dumps(request.to_json()))
+        )
+        assert rebuilt.client == "tester"
+        assert rebuilt.timeout == 5.0
+        assert rebuilt.scenarios == [
+            None, ("link-drop", {"drop_probability": 0.1})
+        ]
+
+    @pytest.mark.parametrize(
+        "payload, message",
+        [
+            ([], "must be a JSON object"),
+            ({}, "missing the 'spec'"),
+            ({"spec": 3}, "ExperimentSpec JSON object"),
+            ({"spec": {}, "bogus": 1}, "unknown submit fields"),
+            ({"spec": {}, "client": ""}, "'client'"),
+            ({"spec": {}, "scenarios": []}, "non-empty JSON array"),
+            ({"spec": {}, "scenarios": [3]}, "axis entries"),
+            ({"spec": {}, "timeout": -1}, "positive number"),
+        ],
+    )
+    def test_validation_errors(self, payload, message):
+        with pytest.raises(ProtocolError, match=message):
+            SubmitRequest.from_json(payload)
+
+    def test_bad_spec_is_a_protocol_error(self):
+        request = SubmitRequest(spec={"name": "x", "bogus": True})
+        with pytest.raises(ProtocolError, match="invalid experiment spec"):
+            request.build_spec()
+
+    def test_enumerate_cells_matches_grid_order(self):
+        spec = make_spec()
+        request = SubmitRequest(
+            spec=spec.to_json(),
+            backends=["reference"],
+            scenarios=[None, ("link-drop", {"drop_probability": 0.1})],
+        )
+        cells = request.enumerate_cells(request.build_spec())
+        # scenario-major, then seed, then backend — Session.grid's nesting.
+        assert [(c.cell_index, c.seed) for c in cells] == [
+            (0, 0), (0, 1), (1, 0), (1, 1)
+        ]
+        digests = [c.digest for c in cells]
+        assert all(d is not None for d in digests)
+        assert len(set(digests)) == len(digests)
+
+
+@pytest.fixture(scope="module")
+def service_stack():
+    if not _FORK:  # pragma: no cover - non-fork platforms
+        pytest.skip("forked workers required")
+    pool = WorkerPool(num_workers=2, start_method="fork").start()
+    service = ExperimentService(pool, CellCache())
+    server = ExperimentServer(service).start_in_background()
+    client = ServiceClient(port=server.port, timeout=60)
+    yield service, server, client
+    server.stop()
+    pool.close()
+
+
+class TestServer:
+    def test_healthz_and_status(self, service_stack):
+        _, _, client = service_stack
+        assert client.healthz() == {"ok": True}
+        status = client.status()
+        assert status["ok"] and status["pool"]["workers"] == 2
+        assert "cache" in status
+
+    def test_unknown_route_is_404(self, service_stack):
+        _, _, client = service_stack
+        with pytest.raises(ServiceError, match="no route"):
+            client._json(client._request("GET", "/nope"))
+
+    def test_bad_spec_is_400(self, service_stack):
+        _, _, client = service_stack
+        with pytest.raises(ServiceError, match="invalid experiment spec"):
+            client.submit(SubmitRequest(spec={"name": "x", "bogus": 1}))
+
+    def test_submit_digest_matches_direct_grid_and_warm_is_cached(
+        self, service_stack
+    ):
+        service, _, client = service_stack
+        spec = make_spec(name="svc-server")
+        scenarios = [None, ("link-drop", {"drop_probability": 0.1})]
+        direct = Session().grid(
+            ExperimentSpec.from_json(spec.to_json()), scenarios=scenarios
+        )
+        request = SubmitRequest(
+            spec=spec.to_json(), client="pytest", scenarios=scenarios
+        )
+        events = []
+        cold = client.submit(request, on_event=events.append)
+        assert cold["digest"] == direct.digest()
+        assert cold["executed"] == len(direct)
+        assert cold["failed"] == 0
+        kinds = {event["kind"] for event in events}
+        assert {"accepted", "cell_begin", "cell_end"} <= kinds
+
+        warm = client.submit(request)
+        assert warm["digest"] == cold["digest"]
+        assert warm["cached"] == warm["cells"]
+        assert warm["executed"] == 0
+
+        # The reply's resultset is the BENCH_*.json shape.
+        assert warm["resultset"]["experiment"] == "svc-server"
+        assert len(warm["resultset"]["rows"]) == warm["cells"]
+
+    def test_renamed_spec_hits_the_same_cache_entries(self, service_stack):
+        _, _, client = service_stack
+        spec = make_spec(name="svc-rename-a")
+        first = client.submit(
+            SubmitRequest(spec=spec.to_json(), client="pytest")
+        )
+        renamed = make_spec(name="svc-rename-b")
+        second = client.submit(
+            SubmitRequest(spec=renamed.to_json(), client="pytest")
+        )
+        assert second["cached"] == second["cells"]
+        # Same deterministic rows, different experiment label.
+        assert first["digest"] == second["digest"]
+        assert second["resultset"]["experiment"] == "svc-rename-b"
+
+    def test_equivalent_scenario_spelling_replays_with_current_label(
+        self, service_stack
+    ):
+        _, _, client = service_stack
+        spec = make_spec(name="svc-spelling")
+        cold = client.submit(
+            SubmitRequest(
+                spec=spec.to_json(), client="pytest", scenarios=["clean"]
+            )
+        )
+        warm = client.submit(
+            SubmitRequest(
+                spec=spec.to_json(), client="pytest", scenarios=[None]
+            )
+        )
+        assert warm["cached"] == warm["cells"]
+        assert cold["resultset"]["rows"][0]["scenario_name"] == "clean"
+        assert warm["resultset"]["rows"][0]["scenario_name"] is None
+        direct = Session(name="svc-spelling").grid(spec, scenarios=[None])
+        assert warm["digest"] == direct.digest()
+
+    def test_non_streaming_submit(self, service_stack):
+        _, _, client = service_stack
+        request = SubmitRequest(
+            spec=make_spec(name="svc-nostream").to_json(),
+            client="pytest",
+            stream=False,
+        )
+        reply = client.submit(request)
+        assert reply["kind"] == "result"
+        assert reply["failed"] == 0
+
+    def test_service_handle_submit_inline(self, service_stack):
+        """The transport-free core works without the HTTP layer."""
+        service, _, _ = service_stack
+        request = SubmitRequest(
+            spec=make_spec(name="svc-inline").to_json(), client="inline"
+        )
+        seen = []
+
+        async def main():
+            async def emit(event):
+                seen.append(event)
+
+            return await service.handle_submit(request, emit)
+
+        reply = asyncio.run(main())
+        assert reply["kind"] == "result"
+        assert seen and seen[0]["kind"] == "accepted"

@@ -1,0 +1,235 @@
+"""Worker-pool fault paths: crash-stop retry, timeouts, fair share.
+
+The pool's workers are forked, so the driver workload registered at this
+module's import exists in every worker without pickling.  The workload's
+failure modes are driven by spec ``workload_params``:
+
+* ``crash-once`` — SIGKILL the worker the first time the cell runs (a
+  token file on disk remembers the first attempt), succeed on retry: the
+  crash-stop story, a worker dying mid-cell must not fail the grid.
+* ``crash-always`` — SIGKILL on every attempt: the bounded-retry story.
+* ``hang`` — sleep far past any deadline: the timeout story.
+* ``raise`` — ordinary workload exception: deterministic, never retried.
+* ``wait-token`` blocks until a token file appears — holds the single
+  worker busy so queues can be built up for the fair-share test.
+"""
+
+import asyncio
+import multiprocessing
+import os
+import signal
+import time
+
+import pytest
+
+from repro.congest.metrics import CongestMetrics
+from repro.congest.network import SynchronousRun
+from repro.experiments import ExperimentSpec, register_workload
+from repro.service import (
+    CellCache,
+    CellCrashed,
+    CellExecutionError,
+    CellTimeout,
+    ExperimentService,
+    SubmitRequest,
+    WorkerPool,
+)
+from repro.service.pool import CellJob, make_payload
+
+_FORK = "fork" in multiprocessing.get_all_start_methods()
+pytestmark = pytest.mark.skipif(not _FORK, reason="forked workers required")
+
+
+@register_workload("svc-fault-driver", kind="driver")
+def fault_driver(mode: str = "ok", token: str = "", hang_seconds: float = 600.0):
+    def run(graph, *, backend, scenario, max_rounds, session=None):
+        if mode == "wait-token":
+            deadline = time.monotonic() + 30.0
+            while not os.path.exists(token):
+                if time.monotonic() > deadline:  # pragma: no cover
+                    raise RuntimeError("release token never appeared")
+                time.sleep(0.01)
+        elif mode == "crash-once":
+            if not os.path.exists(token):
+                with open(token, "w") as fh:
+                    fh.write("crashed")
+                os.kill(os.getpid(), signal.SIGKILL)
+        elif mode == "crash-always":
+            os.kill(os.getpid(), signal.SIGKILL)
+        elif mode == "hang":
+            time.sleep(hang_seconds)
+        elif mode == "raise":
+            raise RuntimeError("workload exploded")
+        metrics = CongestMetrics()
+        metrics.add_rounds(1, phase="svc-fault")
+        metrics.add_messages(0, phase="svc-fault", words=0)
+        return SynchronousRun(
+            rounds=1,
+            metrics=metrics,
+            outputs={vertex: 0 for vertex in graph},
+            halted=True,
+        )
+
+    return run
+
+
+def fault_spec(name="svc-fault", seeds=(0,), **params):
+    return ExperimentSpec(
+        name=name,
+        graph="erdos-renyi",
+        graph_params={"n": 8, "avg_degree": 3.0, "seed": 1},
+        workload="svc-fault-driver",
+        workload_params=params,
+        backend="reference",
+        seeds=seeds,
+        max_rounds=100,
+    )
+
+
+def make_job(spec, seed=0, client="tester", timeout=None, max_attempts=2):
+    return CellJob(
+        client=client,
+        payload=make_payload(
+            spec.to_json(),
+            backend=spec.backend,
+            scenario=spec.scenario,
+            seed=seed,
+        ),
+        digest=spec.cell_digest(seed=seed),
+        timeout=timeout,
+        max_attempts=max_attempts,
+    )
+
+
+@pytest.fixture
+def pool():
+    pool = WorkerPool(num_workers=2, start_method="fork", max_attempts=2)
+    with pool:
+        yield pool
+
+
+class TestCrashRetry:
+    def test_sigkill_mid_cell_is_retried_and_completes(self, pool, tmp_path):
+        spec = fault_spec(
+            mode="crash-once", token=str(tmp_path / "crash.tok"), seeds=(0, 1, 2)
+        )
+        futures = [pool.submit(make_job(spec, seed=seed)) for seed in (0, 1, 2)]
+        results = [future.result(timeout=60) for future in futures]
+        assert all(result.halted for result in results)
+        assert {result.seed for result in results} == {0, 1, 2}
+        assert pool.crashes >= 1
+        assert pool.retries >= 1
+
+    def test_crash_every_attempt_exhausts_bounded_retries(self, pool, tmp_path):
+        bad = fault_spec(name="svc-crash-always", mode="crash-always")
+        good = fault_spec(name="svc-ok")
+        bad_future = pool.submit(make_job(bad, client="bad"))
+        good_future = pool.submit(make_job(good, client="good"))
+        assert good_future.result(timeout=60).halted
+        with pytest.raises(CellCrashed, match="attempts exhausted"):
+            bad_future.result(timeout=60)
+        assert pool.crashes == 2  # both attempts died
+
+    def test_workload_exception_is_not_retried(self, pool):
+        spec = fault_spec(name="svc-raise", mode="raise")
+        future = pool.submit(make_job(spec))
+        with pytest.raises(CellExecutionError, match="workload exploded") as info:
+            future.result(timeout=60)
+        assert "RuntimeError" in info.value.traceback
+        assert pool.crashes == 0
+        assert pool.retries == 0
+
+
+class TestTimeouts:
+    def test_timeout_fails_cell_without_stalling_other_clients(self, pool):
+        hang = fault_spec(name="svc-hang", mode="hang")
+        quick = fault_spec(name="svc-quick", seeds=(0, 1, 2, 3))
+        hang_future = pool.submit(
+            make_job(hang, client="hog", timeout=0.75)
+        )
+        quick_futures = [
+            pool.submit(make_job(quick, seed=seed, client="light"))
+            for seed in range(4)
+        ]
+        # The other client's queue drains on the remaining worker while the
+        # hog's cell is still inside its budget.
+        start = time.monotonic()
+        for future in quick_futures:
+            assert future.result(timeout=60).halted
+        assert time.monotonic() - start < 30.0
+        with pytest.raises(CellTimeout, match="budget"):
+            hang_future.result(timeout=60)
+        assert pool.timeouts == 1
+        # The killed worker was replaced: the pool still executes new work.
+        again = pool.submit(make_job(quick, seed=0, client="light"))
+        assert again.result(timeout=60).halted
+
+
+class TestFairShare:
+    def test_round_robin_interleaves_clients(self, tmp_path):
+        token = str(tmp_path / "release.tok")
+        blocker = fault_spec(name="svc-blocker", mode="wait-token", token=token)
+        quick = fault_spec(name="svc-rr", seeds=(0, 1, 2, 3))
+        pool = WorkerPool(num_workers=1, start_method="fork")
+        with pool:
+            gate = pool.submit(make_job(blocker, client="gate"))
+            # Build both clients' queues while the single worker is held.
+            alpha = [
+                pool.submit(make_job(quick, seed=seed, client="alpha"))
+                for seed in range(4)
+            ]
+            beta = [
+                pool.submit(make_job(quick, seed=seed, client="beta"))
+                for seed in range(4)
+            ]
+            deadline = time.monotonic() + 10.0
+            while pool.stats()["queued"] < 8:  # pragma: no cover - fast path
+                if time.monotonic() > deadline:
+                    raise AssertionError("jobs never queued")
+                time.sleep(0.01)
+            with open(token, "w") as fh:
+                fh.write("go")
+            assert gate.result(timeout=60).halted
+            for future in alpha + beta:
+                assert future.result(timeout=60).halted
+            interleaved = pool.dispatch_log[1:]
+        assert sorted(interleaved) == ["alpha"] * 4 + ["beta"] * 4
+        # Strict alternation: with both queues nonempty, no client is ever
+        # served twice in a row.
+        assert set(interleaved[0::2]) != set(interleaved[1::2])
+        for position in range(len(interleaved) - 1):
+            assert interleaved[position] != interleaved[position + 1]
+
+
+class TestServiceFaultHandling:
+    def test_crashed_cell_grid_still_completes(self, pool, tmp_path):
+        service = ExperimentService(pool, CellCache())
+        spec = fault_spec(
+            name="svc-grid-crash",
+            mode="crash-once",
+            token=str(tmp_path / "grid.tok"),
+            seeds=(0, 1),
+        )
+        request = SubmitRequest(spec=spec.to_json(), client="grid")
+        reply = asyncio.run(service.handle_submit(request))
+        assert reply["failed"] == 0
+        assert len(reply["resultset"]["rows"]) == 2
+
+    def test_failed_cell_is_listed_not_fatal(self, pool):
+        service = ExperimentService(pool, CellCache())
+        spec = fault_spec(name="svc-grid-raise", mode="raise", seeds=(0,))
+        request = SubmitRequest(spec=spec.to_json(), client="grid")
+        reply = asyncio.run(service.handle_submit(request))
+        assert reply["failed"] == 1
+        assert reply["failures"][0]["error"] == "CellExecutionError"
+        assert reply["resultset"]["rows"] == []
+
+    def test_timeout_cell_is_listed_not_fatal(self, pool):
+        service = ExperimentService(pool, CellCache())
+        spec = fault_spec(name="svc-grid-hang", mode="hang", seeds=(0,))
+        request = SubmitRequest(
+            spec=spec.to_json(), client="grid", timeout=0.75
+        )
+        reply = asyncio.run(service.handle_submit(request))
+        assert reply["failed"] == 1
+        assert reply["failures"][0]["error"] == "CellTimeout"
