@@ -1,0 +1,16 @@
+#!/usr/bin/env python3
+"""Run the repro static analyzer (thin wrapper over ``python -m repro.lint``).
+
+Works without PYTHONPATH set up: resolves ``src/`` relative to the repo
+checkout this script lives in.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.lint.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -198,7 +198,12 @@ def cmd_submit(args: argparse.Namespace) -> int:
                 file=sys.stderr, flush=True,
             )
         elif kind == "cell_end":
-            tag = "cache" if event.get("cached") else f"{event['seconds']:.3f}s"
+            if event.get("cached"):
+                tag = "cache"
+            elif event.get("deduped"):
+                tag = "dedup"
+            else:
+                tag = f"{event['seconds']:.3f}s"
             print(
                 f"reprod: cell seed={event['seed']} "
                 f"scenario={event['scenario']!r} done ({tag})",
@@ -221,6 +226,7 @@ def cmd_submit(args: argparse.Namespace) -> int:
         print(
             f"reprod: {reply['cells']} cells "
             f"({reply['cached']} cached, {reply['executed']} executed, "
+            f"{reply.get('deduped', 0)} deduped, "
             f"{reply['failed']} failed) digest={reply['digest']} "
             f"-> {args.summary_out}",
             flush=True,

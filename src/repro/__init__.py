@@ -54,7 +54,7 @@ from repro.engine import run_algorithm as run_on_engine
 from repro.experiments import ExperimentSpec, ResultSet, RunResult, Session
 from repro.obs import JsonlTracer, NullTracer, RecordingTracer, Tracer
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "VectorAlgorithm",

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import pickle
 import time
 from typing import Hashable
 
@@ -206,10 +207,16 @@ def _shard_worker(conn, vertices, factory, neighbor_map, n, channel) -> None:
             elif request[0] == _FINISH:
                 conn.send(("outputs",) + state.finish())
                 return
+    except (KeyboardInterrupt, SystemExit):
+        # Control flow must terminate the worker, not turn into an error
+        # message: the parent detects the death via EOF on the pipe.
+        raise
     except Exception as exc:  # surface worker failures to the parent
         try:
             conn.send(("error", exc))
-        except Exception:
+        except (OSError, ValueError, pickle.PicklingError):
+            # Parent pipe gone or exception unpicklable; dying is fine —
+            # the parent reports EOF as an unexpected worker death.
             pass
     finally:
         if down_reader is not None:

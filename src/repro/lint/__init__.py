@@ -1,0 +1,39 @@
+"""``repro.lint`` — repo-specific static analysis for determinism,
+protocol, and concurrency invariants.
+
+The engine guarantees the paper's reproduction contract dynamically
+(digest equality across backends, scenarios, transports); this package
+guards the pieces of that contract the test suite cannot see: wall-clock
+values leaking into digests (REP001), hash-order-dependent iteration
+(REP002), unseeded randomness (REP003), fork/worker exception and state
+hygiene (REP004), scenario-registry completeness (REP005), and unguarded
+tracer calls on hot paths (REP006).
+
+Entry points: ``python -m repro.lint`` / ``scripts/lint.py``; the
+programmatic API is :func:`lint_source` / :func:`lint_paths`.
+"""
+
+from repro.lint.baseline import Baseline
+from repro.lint.core import (
+    RULES,
+    Finding,
+    LintReport,
+    Rule,
+    lint_paths,
+    lint_source,
+    register_rule,
+)
+
+# Importing the rules module registers REP001-REP006 in RULES.
+from repro.lint import rules as _rules  # noqa: F401
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "LintReport",
+    "Rule",
+    "RULES",
+    "lint_paths",
+    "lint_source",
+    "register_rule",
+]

@@ -1,0 +1,92 @@
+"""Baseline (grandfathered-findings) support for ``repro.lint``.
+
+The baseline is a committed JSON file mapping line-number-free finding
+keys (``RULE:path:stripped-source-line``) to occurrence counts.  A
+finding matching a baseline key (up to its count) is *suppressed*:
+pre-existing debt does not fail the CI gate, but any new finding —
+including one extra occurrence of a grandfathered pattern — does.
+
+Keys deliberately omit line numbers so unrelated edits that shift code
+do not invalidate the baseline; editing the flagged line itself (or
+duplicating it) surfaces the finding again, which is the point.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Mapping
+
+from repro.lint.core import Finding
+
+__all__ = ["Baseline", "BASELINE_VERSION"]
+
+BASELINE_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """A multiset of grandfathered finding keys."""
+
+    entries: dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path | str) -> "Baseline":
+        """Load a baseline file; a missing file is an empty baseline."""
+
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        version = payload.get("version")
+        if version != BASELINE_VERSION:
+            raise ValueError(
+                f"unsupported baseline version {version!r} in {path} "
+                f"(expected {BASELINE_VERSION})"
+            )
+        entries = payload.get("entries", {})
+        if not isinstance(entries, dict):
+            raise ValueError(f"malformed baseline entries in {path}")
+        return cls({str(key): int(count) for key, count in entries.items()})
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        entries: dict[str, int] = {}
+        for finding in findings:
+            key = finding.key()
+            entries[key] = entries.get(key, 0) + 1
+        return cls(entries)
+
+    def save(self, path: Path | str) -> None:
+        payload = {
+            "version": BASELINE_VERSION,
+            "entries": dict(sorted(self.entries.items())),
+        }
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=False) + "\n", encoding="utf-8"
+        )
+
+    def apply(
+        self, findings: Iterable[Finding]
+    ) -> tuple[list[Finding], int, Mapping[str, int]]:
+        """Split findings into (visible, suppressed_count, unused_entries).
+
+        Each baseline entry suppresses at most ``count`` matching
+        findings; surplus occurrences stay visible.  ``unused_entries``
+        reports stale baseline keys whose debt has been paid down — safe
+        to prune with ``--write-baseline``.
+        """
+
+        remaining = dict(self.entries)
+        visible: list[Finding] = []
+        suppressed = 0
+        for finding in findings:
+            key = finding.key()
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                suppressed += 1
+            else:
+                visible.append(finding)
+        unused = {key: count for key, count in remaining.items() if count > 0}
+        return visible, suppressed, unused

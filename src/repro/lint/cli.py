@@ -1,0 +1,188 @@
+"""Command-line interface for the repro static analyzer.
+
+Usage (from the repo root, with ``src`` on ``PYTHONPATH``)::
+
+    python -m repro.lint                     # lint src/repro, human output
+    python -m repro.lint --format=json       # machine-readable report
+    python -m repro.lint --write-baseline    # grandfather current findings
+    python -m repro.lint --list-rules        # show the rule catalogue
+
+Exit codes: 0 = clean (no non-baselined findings), 1 = findings,
+2 = usage/internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.lint.baseline import Baseline
+from repro.lint.core import RULES, Finding, LintReport, lint_paths
+
+__all__ = ["main", "build_parser"]
+
+DEFAULT_BASELINE = "lint-baseline.json"
+DEFAULT_TARGET = "src/repro"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="Repo-specific determinism/protocol/concurrency linter.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help=f"files or directories to lint (default: {DEFAULT_TARGET})",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="stdout format (default: human)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE,
+        help=f"baseline file of grandfathered findings (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline file; report every finding",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        help="also write the JSON report to FILE (any --format)",
+    )
+    parser.add_argument(
+        "--rules",
+        metavar="IDS",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--root",
+        default=".",
+        help="root for relative finding paths (default: cwd)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules and exit",
+    )
+    return parser
+
+
+def _rules_catalogue() -> dict:
+    return {
+        rule.id: {
+            "name": rule.name,
+            "severity": rule.severity,
+            "description": rule.description,
+        }
+        for rule in sorted(RULES.values(), key=lambda r: r.id)
+    }
+
+
+def _report_payload(
+    report: LintReport,
+    visible: list[Finding],
+    suppressed: int,
+    unused: dict[str, int],
+) -> dict:
+    return {
+        "version": 1,
+        "files": report.files,
+        "ok": not visible,
+        "findings": [finding.to_json() for finding in visible],
+        "counts": {
+            "visible": len(visible),
+            "suppressed_baseline": suppressed,
+            "total": len(report.findings),
+        },
+        "unused_baseline": dict(sorted(unused.items())),
+        "rules": _rules_catalogue(),
+    }
+
+
+def _print_human(
+    report: LintReport,
+    visible: list[Finding],
+    suppressed: int,
+    unused: dict[str, int],
+) -> None:
+    for finding in visible:
+        print(finding.format())
+    summary = (
+        f"{len(visible)} finding(s) "
+        f"({suppressed} suppressed by baseline) in {report.files} file(s)"
+    )
+    if unused:
+        summary += f"; {len(unused)} stale baseline entr{'y' if len(unused) == 1 else 'ies'}"
+    print(summary)
+    for key in sorted(unused):
+        print(f"  stale baseline entry: {key}")
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_id, info in _rules_catalogue().items():
+            print(f"{rule_id}  {info['name']:<28} [{info['severity']}]  {info['description']}")
+        return 0
+
+    rule_ids = None
+    if args.rules:
+        rule_ids = [part.strip().upper() for part in args.rules.split(",") if part.strip()]
+
+    paths = args.paths
+    if not paths:
+        default = Path(args.root) / DEFAULT_TARGET
+        if not default.exists():
+            parser.error(
+                f"no paths given and default target {default} does not exist"
+            )
+        paths = [str(default)]
+
+    try:
+        report = lint_paths(paths, root=args.root, rules=rule_ids)
+    except (KeyError, FileNotFoundError) as exc:
+        parser.error(str(exc))
+
+    if args.write_baseline:
+        Baseline.from_findings(report.findings).save(args.baseline)
+        print(
+            f"wrote {len(report.findings)} finding(s) to baseline {args.baseline}"
+        )
+        return 0
+
+    baseline = Baseline() if args.no_baseline else Baseline.load(args.baseline)
+    visible, suppressed, unused = baseline.apply(report.findings)
+    payload = _report_payload(report, visible, suppressed, dict(unused))
+
+    if args.format == "json":
+        print(json.dumps(payload, indent=2))
+    else:
+        _print_human(report, visible, suppressed, dict(unused))
+
+    if args.output:
+        Path(args.output).write_text(
+            json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+        )
+
+    return 0 if payload["ok"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -45,6 +45,7 @@ class CellCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.dedup_hits = 0
 
     def get(self, digest: str) -> RunResult | None:
         """The cached result for ``digest``, or ``None`` (counts a miss)."""
@@ -67,6 +68,12 @@ class CellCache:
                     self._entries.popitem(last=False)
                     self.evictions += 1
 
+    def count_dedup(self) -> None:
+        """Record one within-submission dedup: a duplicate digest whose
+        cell reused a sibling's execution instead of running again."""
+        with self._lock:
+            self.dedup_hits += 1
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
@@ -88,4 +95,5 @@ class CellCache:
                 "hits": self.hits,
                 "misses": self.misses,
                 "evictions": self.evictions,
+                "dedup_hits": self.dedup_hits,
             }

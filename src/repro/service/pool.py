@@ -147,6 +147,10 @@ def _cell_worker(conn) -> None:
             return
         try:
             reply = ("ok", _execute_payload(request))
+        except (KeyboardInterrupt, SystemExit):
+            # Die rather than report: the parent's sentinel watch treats
+            # the death as a crash and retries the cell elsewhere.
+            raise
         except BaseException as exc:
             reply = ("error", f"{type(exc).__name__}: {exc}", traceback.format_exc())
         try:

@@ -220,14 +220,30 @@ class ExperimentService:
             await emit(end)
             return position, coord, result, None
 
+        # Within one submission, identical digests execute once: the
+        # first occurrence is the primary, later occurrences reuse its
+        # outcome (counted on CellCache.stats()["dedup_hits"]).
+        primaries: dict[str, int] = {}
+        duplicates: list[tuple[int, CellCoord, int]] = []
+        unique_misses: list[tuple[int, CellCoord]] = []
+        for position, coord in misses:
+            if coord.digest is not None and coord.digest in primaries:
+                duplicates.append((position, coord, primaries[coord.digest]))
+            else:
+                if coord.digest is not None:
+                    primaries[coord.digest] = position
+                unique_misses.append((position, coord))
+
         failures: list[dict[str, Any]] = []
         executed: dict[int, RunResult] = {}
-        if misses:
+        errors: dict[int, BaseException] = {}
+        if unique_misses:
             outcomes = await asyncio.gather(
-                *(execute(position, coord) for position, coord in misses)
+                *(execute(position, coord) for position, coord in unique_misses)
             )
             for position, coord, result, error in outcomes:
                 if error is not None:
+                    errors[position] = error
                     failures.append(
                         {
                             "cell": coord.describe(),
@@ -238,9 +254,57 @@ class ExperimentService:
                 else:
                     executed[position] = result
 
+        deduped: dict[int, RunResult] = {}
+        for position, coord, primary_position in duplicates:
+            primary = executed.get(primary_position)
+            if primary is not None:
+                self.cache.count_dedup()
+                deduped[position] = replace(
+                    primary, spec_name=spec.name, cell_index=coord.cell_index,
+                    scenario_name=scenario_label(coord.scenario),
+                )
+                event = {
+                    "kind": "cell_end",
+                    "client": request.client,
+                    "spec": spec.name,
+                    "cached": False,
+                    "deduped": True,
+                    "seconds": 0.0,
+                    "seed": coord.seed,
+                    "ts": time.time(),
+                    **coord.describe(),
+                }
+            else:
+                # The primary failed; the duplicate inherits the failure
+                # rather than retrying the very same cell in-request.
+                error = errors[primary_position]
+                failures.append(
+                    {
+                        "cell": coord.describe(),
+                        "error": type(error).__name__,
+                        "message": str(error),
+                    }
+                )
+                event = {
+                    "kind": "cell_failed",
+                    "client": request.client,
+                    "spec": spec.name,
+                    "error": type(error).__name__,
+                    "message": str(error),
+                    "deduped": True,
+                    "ts": time.time(),
+                    **coord.describe(),
+                }
+            self._trace(event)
+            await emit(event)
+
         resultset = ResultSet(experiment=spec.name, workload=str(spec.workload))
         for position in range(len(cells)):
-            result = cached_results.get(position) or executed.get(position)
+            result = (
+                cached_results.get(position)
+                or executed.get(position)
+                or deduped.get(position)
+            )
             if result is not None:
                 resultset.results.append(result)
 
@@ -251,6 +315,7 @@ class ExperimentService:
             "cells": len(cells),
             "cached": len(cached_results),
             "executed": len(executed),
+            "deduped": len(deduped),
             "failed": len(failures),
             "failures": failures,
             "digest": resultset.digest(),
@@ -266,6 +331,7 @@ class ExperimentService:
                 "cells": len(cells),
                 "cached": len(cached_results),
                 "executed": len(executed),
+                "deduped": len(deduped),
                 "failed": len(failures),
                 "digest": reply["digest"],
                 "ts": reply["ts"],

@@ -372,6 +372,47 @@ class TestServer:
         direct = Session(name="svc-spelling").grid(spec, scenarios=[None])
         assert warm["digest"] == direct.digest()
 
+    def test_duplicate_digests_within_one_submission_execute_once(
+        self, service_stack
+    ):
+        service, _, client = service_stack
+        # Digest-unique graph params: the module-scope cache must not
+        # already hold these cells (spec *names* don't enter digests).
+        spec = make_spec(
+            name="svc-dedup",
+            graph_params={"n": 24, "avg_degree": 5.0, "seed": 77},
+        )
+        # The same scenario listed twice: per seed, both cells share a
+        # digest, so the second must reuse the first's execution.
+        scenarios = ["clean", "clean"]
+        before = service.cache.stats()["dedup_hits"]
+        events = []
+        reply = client.submit(
+            SubmitRequest(
+                spec=spec.to_json(), client="pytest", scenarios=scenarios
+            ),
+            on_event=events.append,
+        )
+        seeds = len(SPEC_KWARGS["seeds"])
+        assert reply["failed"] == 0
+        assert reply["executed"] == seeds
+        assert reply["deduped"] == seeds
+        assert reply["cells"] == 2 * seeds
+        assert len(reply["resultset"]["rows"]) == reply["cells"]
+        assert service.cache.stats()["dedup_hits"] == before + seeds
+        deduped_ends = [
+            event
+            for event in events
+            if event["kind"] == "cell_end" and event.get("deduped")
+        ]
+        assert len(deduped_ends) == seeds
+        # Deduped rows restamp cell_index/scenario, so the served grid
+        # is byte-identical to a direct one that executes every cell.
+        direct = Session().grid(
+            ExperimentSpec.from_json(spec.to_json()), scenarios=scenarios
+        )
+        assert reply["digest"] == direct.digest()
+
     def test_non_streaming_submit(self, service_stack):
         _, _, client = service_stack
         request = SubmitRequest(
