@@ -1,0 +1,365 @@
+"""E19 — Robust compiler: compiled-vs-bare recovery under vertex faults.
+
+The fault-tolerant compiler (``repro.robust``) claims that wrapping *any*
+per-vertex algorithm with a replication or LDC/erasure-coding strategy makes
+its output survive crash-stop and Byzantine vertex faults at a bounded
+round-stretch cost.  This experiment pins that claim on the E14/E15 listing
+workload graph (giant connected component, so layered BFS terminates
+without the unreachable-vertex timeout) by running the
+
+    {bare, compiled-replication, compiled-erasure-coding} x
+    {clean, crash-vertices, byzantine-vertices}
+
+grid through the declarative experiment API — the compiled column uses the
+``robust-compiled`` driver workload, so the whole sweep is spec + Session,
+no direct compiler wiring — and asserting, per the acceptance criteria:
+
+* **bare runs break**: under each vertex-fault scenario the bare BFS-tree
+  output digest diverges from the clean digest (or the run fails to halt);
+* **compiled runs recover**: under the *same* fault scenarios, both
+  strategies reproduce the clean-run output digest exactly — replication
+  (``k = 2f + 1`` full copies, majority vote) and erasure coding
+  (``k = d + f`` checksummed Cauchy shares, any ``d`` decode);
+* **stretch is bounded**: every compiled cell reports
+  ``round_stretch <= 4`` (replication replays clean fragmentation, ~1.0;
+  coded shares pay checksum + framing words per hop, ~3.0 on the one-word
+  BFS announcements).
+
+Run standalone (writes BENCH_e19.json at the repo root by default)::
+
+    PYTHONPATH=src python benchmarks/bench_e19_robust_compiler.py
+    PYTHONPATH=src python benchmarks/bench_e19_robust_compiler.py --smoke
+
+``--smoke`` runs the 200-vertex configuration only (the CI tier-2 job);
+``--trace-dir DIR`` additionally runs one fully traced compiled cell under
+crash faults and writes its JSONL event stream (including the
+``vertex_crashed`` events) plus the Chrome/Perfetto timeline into ``DIR``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import networkx as nx
+
+import common  # noqa: F401  (registers the 'listing-workload' graph source)
+from common import listing_workload_graph
+from repro.experiments import (
+    ExperimentSpec,
+    ResultSet,
+    RunResult,
+    Session,
+    register_graph_source,
+)
+from repro.obs import JsonlTracer, read_jsonl_events, write_chrome_trace
+from repro.robust import compile_robust
+
+# The fault axis: a seeded crash burst in the opening rounds, and seeded
+# Byzantine word-flippers active from round 0.  The same scenario entries
+# apply to the bare runs (on the logical graph) and the compiled runs (on
+# the replicated graph) — the fault model is the adversary's *budget*, not
+# a fixed vertex set.
+FAULT_BUDGET = 6
+SCENARIO_GRID = [
+    "clean",
+    (
+        "crash-vertices",
+        {"max_faulty": FAULT_BUDGET, "first_round": 1, "window": 4},
+    ),
+    ("byzantine-vertices", {"max_faulty": FAULT_BUDGET}),
+]
+
+# Both strategies sized to survive the budget even if every fault lands in
+# one replica group: replication k = 2f + 1 = 5, erasure coding k = d + f
+# = 4 with any d = 2 of the checksummed shares decoding.
+STRATEGIES = [
+    ("replication", {"f": 2}),
+    ("erasure-coding", {"d": 2, "f": 2}),
+]
+
+STRETCH_BOUND = 4.0
+
+
+@register_graph_source("listing-workload-cc")
+def listing_workload_giant_component(n: int, seed: int = 23) -> nx.Graph:
+    """Giant connected component of the E14/E15 listing workload graph.
+
+    The planted-cliques family leaves a few isolated background vertices;
+    layered BFS would idle for the full ``n``-round timeout on those, so
+    E19 measures on the giant component (relabelled to ``0..m-1`` in sorted
+    order, keeping the BFS root at vertex 0 deterministic).
+    """
+    graph = listing_workload_graph(n, seed=seed)
+    component = max(nx.connected_components(graph), key=len)
+    return nx.convert_node_labels_to_integers(
+        graph.subgraph(sorted(component)), ordering="sorted"
+    )
+
+
+def bare_spec(n: int, seed: int, max_rounds: int = 100_000) -> ExperimentSpec:
+    return ExperimentSpec(
+        name="e19-bare",
+        graph="listing-workload-cc",
+        graph_params={"n": n},
+        workload="bfs-tree",
+        backend="vectorized",
+        seeds=(seed,),
+        max_rounds=max_rounds,
+    )
+
+
+def compiled_spec(
+    n: int, seed: int, strategy: str, params: dict, max_rounds: int = 100_000
+) -> ExperimentSpec:
+    return ExperimentSpec(
+        name=f"e19-compiled-{strategy}",
+        graph="listing-workload-cc",
+        graph_params={"n": n},
+        workload="robust-compiled",
+        workload_params={"inner": "bfs-tree", "strategy": strategy, **params},
+        backend="vectorized",
+        seeds=(seed,),
+        max_rounds=max_rounds,
+    )
+
+
+def _seeded(entry, seed: int):
+    """The scenario-grid entry with the experiment seed injected."""
+    if isinstance(entry, str):
+        return entry
+    name, params = entry
+    return (name, {**params, "seed": seed})
+
+
+def _by_scenario(results) -> dict[str, RunResult]:
+    return {result.scenario_name: result for result in results}
+
+
+def run_experiment(n: int, seed: int = 7) -> dict:
+    """Execute the protocol x scenario grid; assert recovery; report JSON."""
+    session = Session(name="e19-robust-compiler")
+    scenarios = [_seeded(entry, seed) for entry in SCENARIO_GRID]
+    fault_names = [name for name, _ in SCENARIO_GRID[1:]]
+
+    bare = _by_scenario(session.grid(bare_spec(n, seed), scenarios=scenarios))
+    clean_digest = bare["clean"].output_digest
+
+    # Acceptance 1: the bare protocol demonstrably breaks under each fault.
+    bare_broken = {}
+    for name in fault_names:
+        cell = bare[name]
+        diverged = cell.output_digest != clean_digest or not cell.halted
+        assert diverged, (
+            f"bare run under {name} matched the clean digest — the fault "
+            f"injection is not exercising the compiler"
+        )
+        bare_broken[name] = {
+            "digest_diverged": cell.output_digest != clean_digest,
+            "halted": cell.halted,
+        }
+
+    # Acceptance 2 + 3: both compiled strategies recover the clean digest
+    # under the same faults, within the stretch bound.
+    compiled_rows = {}
+    for strategy, params in STRATEGIES:
+        results = _by_scenario(
+            session.grid(
+                compiled_spec(n, seed, strategy, params), scenarios=scenarios
+            )
+        )
+        for name, cell in results.items():
+            assert cell.output_digest == clean_digest, (
+                f"compiled[{strategy}] under {name} lost the clean digest: "
+                f"{cell.output_digest} != {clean_digest}"
+            )
+            assert cell.halted, f"compiled[{strategy}] under {name} did not halt"
+            assert cell.round_stretch is not None
+            assert cell.round_stretch <= STRETCH_BOUND, (
+                f"compiled[{strategy}] under {name} stretched "
+                f"{cell.round_stretch:.2f}x > {STRETCH_BOUND}x"
+            )
+        compiled_rows[strategy] = results
+
+    stretch = {
+        strategy: {
+            name: round(results[name].round_stretch, 4)
+            for name in ("clean", *fault_names)
+        }
+        for strategy, results in compiled_rows.items()
+    }
+    protocols = {"bare": bare, **compiled_rows}
+    summary = {
+        protocol: {
+            name: {
+                "rounds": cell.rounds,
+                "words": cell.words,
+                "round_stretch": (
+                    None if cell.round_stretch is None
+                    else round(cell.round_stretch, 4)
+                ),
+                "recovers_clean_digest": cell.output_digest == clean_digest,
+            }
+            for name, cell in results.items()
+        }
+        for protocol, results in protocols.items()
+    }
+
+    report = ResultSet(
+        experiment="e19-robust-compiler",
+        workload="bfs-tree (bare + robust-compiled)",
+        results=list(session.history),
+    ).to_json()
+    report["experiment"] = (
+        "E19 robust compiler (compiled-vs-bare recovery under vertex faults)"
+    )
+    report["workload"] = (
+        "layered BFS tree on the listing-workload giant component; bare vs "
+        "compile_robust(replication | erasure-coding) through the "
+        "declarative Session API; clean-digest recovery + stretch asserted"
+    )
+    report["n"] = n
+    report["logical_vertices"] = bare["clean"].n
+    report["seed"] = seed
+    report["fault_budget"] = FAULT_BUDGET
+    report["clean_digest"] = clean_digest
+    report["bare_broken"] = bare_broken
+    report["summary"] = summary
+    report["round_stretch"] = stretch
+    report["stretch_bound"] = STRETCH_BOUND
+    report["specs"] = {
+        "bare": bare_spec(n, seed).to_json(),
+        **{
+            f"compiled-{strategy}": compiled_spec(
+                n, seed, strategy, params
+            ).to_json()
+            for strategy, params in STRATEGIES
+        },
+    }
+    return report
+
+
+def render(report: dict) -> str:
+    lines = [
+        f"E19: robust-compiler recovery on the listing graph "
+        f"(n={report['n']}, giant cc={report['logical_vertices']}, "
+        f"fault budget={report['fault_budget']})",
+        f"{'protocol':<26s} {'scenario':<20s} {'rounds':>7s} {'words':>9s} "
+        f"{'stretch':>8s} {'recovers':>9s}",
+    ]
+    for protocol, per_scenario in report["summary"].items():
+        for scenario, cell in per_scenario.items():
+            stretch = (
+                f"{cell['round_stretch']:.2f}x"
+                if cell["round_stretch"] is not None
+                else "-"
+            )
+            recovers = "yes" if cell["recovers_clean_digest"] else "NO"
+            lines.append(
+                f"{protocol:<26s} {scenario:<20s} "
+                f"{cell['rounds']:>7d} {cell['words']:>9d} {stretch:>8s} "
+                f"{recovers:>9s}"
+            )
+    lines.append("")
+    lines.append(
+        "acceptance: bare diverges under every fault scenario; both "
+        f"compiled strategies recover the clean digest within "
+        f"{report['stretch_bound']}x stretch"
+    )
+    return "\n".join(lines)
+
+
+def export_traces(n: int, seed: int, trace_dir: Path) -> list[Path]:
+    """One fully traced compiled cell under crash faults: the artifact pair.
+
+    The JSONL stream carries the per-round engine events *including* the
+    ``vertex_crashed`` markers the fault interface added, so the timeline
+    shows replicas dying while the compiled protocol keeps delivering.
+    """
+    from repro.engine.registry import scenario_registry
+    from repro.engine.runner import run_algorithm
+    from repro.experiments.spec import workload_registry
+
+    trace_dir.mkdir(parents=True, exist_ok=True)
+    graph = listing_workload_giant_component(n)
+    scenario_name, params = _seeded(SCENARIO_GRID[1], seed)
+    scenario = scenario_registry.get(scenario_name)(**params)
+    compiled = compile_robust(
+        workload_registry.get("bfs-tree")(), strategy="replication", f=2
+    )
+    jsonl_path = trace_dir / "e19_compiled_crash.jsonl"
+    with JsonlTracer(jsonl_path) as tracer:
+        clean = run_algorithm(graph, compiled.algorithm, backend="vectorized")
+        run = compiled.run(
+            graph,
+            backend="vectorized",
+            scenario=scenario,
+            tracer=tracer,
+            baseline_rounds=clean.rounds,
+        )
+    assert run.outputs == clean.outputs, "traced compiled run lost recovery"
+    events = read_jsonl_events(jsonl_path)
+    assert any(event["kind"] == "vertex_crashed" for event in events), (
+        "trace artifact is missing the vertex_crashed events"
+    )
+    chrome_path = write_chrome_trace(
+        events, trace_dir / "e19_compiled_crash_chrome.json"
+    )
+    return [jsonl_path, chrome_path]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=1000)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        help=(
+            "where to write the JSON report ('-' to skip; default: the "
+            "committed BENCH_e19.json, skipped under --smoke)"
+        ),
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="200-vertex configuration only (the CI tier-2 job)",
+    )
+    parser.add_argument(
+        "--trace-dir",
+        type=Path,
+        default=None,
+        help="also run one fully traced compiled cell under crash faults "
+        "and write its JSONL events + Chrome timeline into this directory",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        args.n = 200
+    report = run_experiment(args.n, seed=args.seed)
+    print(render(report))
+    if args.trace_dir is not None:
+        for path in export_traces(args.n, args.seed, args.trace_dir):
+            print(f"wrote {path}")
+    json_path = args.json
+    if json_path is None and not args.smoke:
+        json_path = Path(__file__).resolve().parent.parent / "BENCH_e19.json"
+    if json_path is not None and str(json_path) != "-":
+        json_path.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {json_path}")
+    return 0
+
+
+def test_benchmark_smoke():
+    """Tier-2 entry point for the pytest harness."""
+    report = run_experiment(200, seed=7)
+    assert report["bare_broken"]
+    for per_scenario in report["round_stretch"].values():
+        assert all(value <= STRETCH_BOUND for value in per_scenario.values())
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,76 @@
+"""Robust compiler quickstart: surviving crashed and lying vertices.
+
+Runs a BFS-tree construction bare under crash-stop and Byzantine vertex
+faults (and watches the output diverge from the clean run), then wraps
+the *same* algorithm with :func:`repro.robust.compile_robust` and shows
+that both fault-tolerance strategies recover the clean output exactly:
+
+* ``replication`` — every logical vertex becomes ``k = 2f + 1`` replicas
+  sending full payload copies; a majority vote decodes each bundle, so
+  round stretch stays 1.0x at a ``k^2`` bandwidth cost.
+* ``erasure-coding`` — ``k = d + f`` replicas send checksummed GF(2^16)
+  Cauchy code shares; any ``d`` honest shares reconstruct, trading a
+  small round stretch for fewer replicas per group.
+
+Run with::
+
+    PYTHONPATH=src python examples/robust_compiler.py
+"""
+
+from repro.engine.runner import run_algorithm
+from repro.experiments.spec import workload_registry
+from repro.robust import (
+    ByzantineVertexScenario,
+    CrashStopVertexScenario,
+    compile_robust,
+)
+from repro.graphs import erdos_renyi
+
+
+def main() -> None:
+    graph = erdos_renyi(120, 6.0, seed=5)
+    bfs = workload_registry.get("bfs-tree")()
+    clean = run_algorithm(graph, bfs, backend="vectorized")
+    print(
+        f"graph: {graph.number_of_nodes()} vertices, "
+        f"{graph.number_of_edges()} edges; clean BFS finishes in "
+        f"{clean.rounds} rounds\n"
+    )
+
+    scenarios = {
+        "crash-stop": CrashStopVertexScenario(max_faulty=4, seed=11),
+        "byzantine": ByzantineVertexScenario(max_faulty=4, seed=11),
+    }
+    for name, scenario in scenarios.items():
+        bare = run_algorithm(graph, bfs, backend="vectorized", scenario=scenario)
+        broken = sum(1 for v in graph.nodes if bare.outputs[v] != clean.outputs[v])
+        print(f"bare under {name:<10s}: {broken} vertices end with wrong output")
+
+    print()
+    for strategy, params in [
+        ("replication", {"f": 2}),
+        ("erasure-coding", {"d": 2, "f": 2}),
+    ]:
+        compiled = compile_robust(bfs, strategy=strategy, **params)
+        for name, scenario in scenarios.items():
+            run = compiled.run(
+                graph,
+                backend="vectorized",
+                scenario=scenario,
+                baseline_rounds=clean.rounds,
+            )
+            assert run.outputs == clean.outputs
+            print(
+                f"{compiled.describe():<60s} under {name:<10s}: "
+                f"exact recovery, {run.round_stretch:.2f}x round stretch, "
+                f"{run.metrics.words} words"
+            )
+
+    print(
+        "\nboth strategies decode the clean BFS tree exactly while up to "
+        "f = 2 replicas per group crash or lie."
+    )
+
+
+if __name__ == "__main__":
+    main()

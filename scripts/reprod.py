@@ -67,6 +67,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="default per-cell wall-clock budget in seconds")
     serve.add_argument("--cache-entries", type=int, default=None,
                        help="LRU bound on cached cells (default unbounded)")
+    serve.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="persist cached cells to digest-named files in "
+                            "DIR (survives restarts; large pinned outputs "
+                            "spill here instead of staying in memory)")
     serve.add_argument("--log", default=None, metavar="PATH",
                        help="mirror progress events into a JSONL file")
     serve.add_argument("--import", dest="imports", action="append",
@@ -134,7 +138,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     ).start()
     service = ExperimentService(
         pool,
-        CellCache(max_entries=args.cache_entries),
+        CellCache(max_entries=args.cache_entries, cache_dir=args.cache_dir),
         default_timeout=args.timeout,
         tracer=tracer,
     )

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import time
 from collections import defaultdict, deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Hashable, Iterable
 
 import networkx as nx
@@ -41,13 +41,19 @@ class SynchronousRun:
         metrics: full round/message accounting.
         outputs: per-vertex ``output`` attribute after termination.
         halted: whether every vertex halted (as opposed to hitting the
-            round limit).
+            round limit).  Crashed vertices (vertex-fault scenarios) are
+            excluded: a run is ``halted`` when every *surviving* vertex
+            halted.
+        round_stretch: compiled-over-bare round ratio when the run came out
+            of the robust compiler (:mod:`repro.robust`); ``None`` for
+            ordinary runs.
     """
 
     rounds: int
     metrics: CongestMetrics
     outputs: dict[Hashable, object]
     halted: bool
+    round_stretch: float | None = None
 
     def combined_output(self) -> set:
         """Union of all per-vertex outputs that are sets (listing results)."""
@@ -76,6 +82,18 @@ class CongestNetwork:
         # Optional delivery model (repro.engine.scenarios); None is the
         # clean synchronous CONGEST model and skips the per-edge query.
         self.scenario = scenario
+        # The scenario's two fault axes split here: the delivery loop
+        # queries ``transmits`` only when link faults exist (vertex-fault
+        # scenarios keep the clean per-edge pop), and the run loop does
+        # crash/corruption bookkeeping only when vertex faults exist.
+        self._link_scenario = (
+            scenario
+            if scenario is not None and getattr(scenario, "has_link_faults", True)
+            else None
+        )
+        self._vertex_faults = scenario is not None and getattr(
+            scenario, "has_vertex_faults", False
+        )
         if tracer is None:
             from repro.obs.tracer import NULL_TRACER
 
@@ -117,12 +135,31 @@ class CongestNetwork:
         self._edge_queues.clear()
         tracer = self.tracer
         traced = tracer.enabled
+        scenario = self.scenario
+        vertex_faults = self._vertex_faults
+        if vertex_faults:
+            scenario.bind_nodes(list(self.graph.nodes))
+        # Crash-stop accumulator: once a vertex appears in the scenario's
+        # faulty set it stays crashed for the rest of the run.
+        crashed: set[Hashable] = set()
 
         rounds_executed = 0
         for round_index in range(max_rounds):
-            if all(alg.halted for alg in algorithms.values()) and not self._has_pending():
+            if (
+                all(
+                    alg.halted or v in crashed for v, alg in algorithms.items()
+                )
+                and not self._has_pending()
+            ):
                 break
             rounds_executed += 1
+            if vertex_faults:
+                corrupted = 0
+                for vertex in scenario.faulty_vertices(round_index):
+                    if vertex not in crashed:
+                        crashed.add(vertex)
+                        if traced:
+                            tracer.vertex_crashed(round_index, vertex)
             if traced:
                 round_start = time.perf_counter()
                 tracer.round_begin(
@@ -134,7 +171,7 @@ class CongestNetwork:
                 )
             outgoing: list[Message] = []
             for vertex, algorithm in algorithms.items():
-                if algorithm.halted:
+                if algorithm.halted or vertex in crashed:
                     continue
                 sent = algorithm.on_round(round_index, inboxes[vertex])
                 inboxes[vertex] = []
@@ -148,6 +185,16 @@ class CongestNetwork:
                             f"vertex {vertex!r} attempted to send to non-neighbour "
                             f"{message.receiver!r}"
                         )
+                    if vertex_faults:
+                        # Byzantine corruption is applied sender-side at
+                        # send time, before fragmentation, so every backend
+                        # sizes and delivers the identical corrupted value.
+                        payload = scenario.corrupt_payload(
+                            vertex, message.receiver, round_index, message.payload
+                        )
+                        if payload is not message.payload:
+                            message = replace(message, payload=payload)
+                            corrupted += 1
                     outgoing.append(message)
 
             if traced:
@@ -155,13 +202,21 @@ class CongestNetwork:
                 tracer.span_add(
                     "compute", compute_done - round_start, round_index
                 )
+                if vertex_faults and corrupted:
+                    tracer.payload_corrupted(round_index, corrupted)
             self._enqueue(outgoing)
             delivered, words_crossed = self._deliver_one_round(round_index)
             dropped = 0
             for message in delivered:
                 # A halted vertex never consumes its inbox again; queueing
-                # would grow memory without bound on long runs.
-                if algorithms[message.receiver].halted:
+                # would grow memory without bound on long runs.  Crashed
+                # endpoints behave the same: words a crashed sender queued
+                # before dying still consumed bandwidth, but the message is
+                # discarded on arrival (and nothing reaches a dead receiver).
+                if algorithms[message.receiver].halted or (
+                    vertex_faults
+                    and (message.sender in crashed or message.receiver in crashed)
+                ):
                     dropped += 1
                     continue
                 inboxes[message.receiver].append(message)
@@ -198,7 +253,9 @@ class CongestNetwork:
             rounds_executed = max_rounds
 
         outputs = {v: alg.output for v, alg in algorithms.items()}
-        halted = all(alg.halted for alg in algorithms.values())
+        halted = all(
+            alg.halted for v, alg in algorithms.items() if v not in crashed
+        )
         return SynchronousRun(
             rounds=rounds_executed,
             metrics=self.metrics,
@@ -234,7 +291,7 @@ class CongestNetwork:
         words_crossed = 0
         blocked = 0
         drained: list[tuple[Hashable, Hashable]] = []
-        scenario = self.scenario
+        scenario = self._link_scenario
         for edge, queue in self._edge_queues.items():
             if scenario is not None and not scenario.transmits(edge, round_index):
                 blocked += 1

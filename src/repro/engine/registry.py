@@ -46,6 +46,11 @@ class Registry:
     def __init__(self, kind: str):
         self.kind = kind
         self.entries: dict[str, type] = {}
+        # Modules whose import registers further entries, loaded on the
+        # first lookup that misses.  Lets subsystems (repro.robust) keep
+        # their registrations out of the engine's import graph — no cycle,
+        # no import cost until a name is actually asked for.
+        self.lazy_modules: list[str] = []
 
     def register(self, name_or_class: str | T | None = None) -> Callable[[T], T] | T:
         """Class decorator: ``@register(...)`` with or without a name.
@@ -89,15 +94,36 @@ class Registry:
         try:
             return self.entries[name]
         except KeyError:
+            if not self._load_lazy_modules():
+                raise ValueError(
+                    f"unknown {self.kind} {name!r}; known: {self.names()}"
+                ) from None
+        try:
+            return self.entries[name]
+        except KeyError:
             raise ValueError(
                 f"unknown {self.kind} {name!r}; known: {self.names()}"
             ) from None
 
+    def _load_lazy_modules(self) -> bool:
+        """Import any pending lazy modules; ``True`` if something loaded."""
+        if not self.lazy_modules:
+            return False
+        import importlib
+
+        pending, self.lazy_modules = self.lazy_modules, []
+        for module in pending:
+            importlib.import_module(module)
+        return True
+
     def names(self) -> list[str]:
         """Sorted registry names."""
+        self._load_lazy_modules()
         return sorted(self.entries)
 
     def __contains__(self, name: str) -> bool:
+        if name not in self.entries:
+            self._load_lazy_modules()
         return name in self.entries
 
     def __iter__(self):
@@ -106,6 +132,11 @@ class Registry:
 
 backend_registry = Registry("backend")
 scenario_registry = Registry("scenario")
+
+# The robust subsystem's vertex-fault scenarios register on import; loading
+# them lazily on the first lookup keeps ``repro.engine`` free of a
+# dependency on ``repro.robust`` (which imports the engine).
+scenario_registry.lazy_modules.append("repro.robust.scenarios")
 
 register_backend = backend_registry.register
 register_scenario = scenario_registry.register

@@ -197,6 +197,14 @@ class DeliveryScenario(ABC):
 
     is_clean: bool = False
     has_kernel: bool = False
+    # Link faults: whether ``transmits`` can ever say no.  Scenarios whose
+    # faults live entirely at the vertices (crash-stop, Byzantine) set this
+    # ``False`` so the schedulers keep the clean arithmetic fast path.
+    has_link_faults: bool = True
+    # Vertex faults: whether ``faulty_vertices`` / ``corrupt_payload`` can
+    # ever act.  Backends skip the per-round fault bookkeeping entirely when
+    # this stays ``False``.
+    has_vertex_faults: bool = False
     name: str = ""
     _bound_edges: list[Edge] | None = None
 
@@ -275,6 +283,64 @@ class DeliveryScenario(ABC):
             round_index += 1
         return schedule
 
+    # -- vertex-fault interface ----------------------------------------------
+    #
+    # Link faults act on edges; vertex faults act on the processors
+    # themselves.  A scenario with ``has_vertex_faults = True`` marks
+    # vertices crashed (they stop computing and sending; their in-flight
+    # words are dropped at delivery and counted) and/or corrupts the
+    # payloads faulty senders emit (Byzantine behaviour).  Decisions are
+    # pure functions of ``(seed, vertex, round)`` like the link decisions,
+    # so all backends observe the identical fault pattern.
+
+    def bind_nodes(self, nodes: Sequence[Hashable]) -> None:
+        """Associate the run's vertex labels (in dense-id order) with the scenario.
+
+        Vertex-fault scenarios use the node list to draw their
+        deterministic fault set and to precompute per-dense-id kernels for
+        the batch forms; link-only scenarios ignore it.  Backends bind
+        automatically before round 0, like the schedulers bind edges.
+        """
+
+    def faulty_vertices(self, round_index: int) -> frozenset:
+        """The vertices faulty *as of* ``round_index``.
+
+        For crash-stop faults the set is monotone in time: backends
+        accumulate it anyway (once crashed, always crashed), so a scenario
+        only needs to report who is down in each round.  The default — no
+        vertex is ever faulty — keeps every link-fault scenario unchanged.
+        """
+        return frozenset()
+
+    def corrupt_payload(
+        self, sender: Hashable, receiver: Hashable, round_index: int, payload: Any
+    ) -> Any:
+        """The payload ``receiver`` observes from ``sender`` (Byzantine faults).
+
+        Applied sender-side at *send* time (``round_index`` is the round
+        the message was scheduled), before word accounting, so every
+        backend sizes, schedules, and delivers the identical corrupted
+        value.  Must never mutate ``payload`` in place — senders may share
+        one payload object across receivers.  The default is the identity.
+        """
+        return payload
+
+    def corrupt_values(
+        self,
+        senders: np.ndarray,
+        receivers: np.ndarray,
+        round_index: int,
+        values: np.ndarray,
+    ) -> np.ndarray:
+        """Batch form of :meth:`corrupt_payload` for the vector fast path.
+
+        ``senders`` / ``receivers`` are dense vertex ids (the positions of
+        :meth:`bind_nodes`'s node list); ``values`` is the integer payload
+        column.  Returns the corrupted column (a new array when anything
+        changes).  The default replays nothing and returns ``values``.
+        """
+        return values
+
     def spec_params(self) -> dict[str, Any]:
         """Constructor parameters as a plain-JSON dict (for experiment specs).
 
@@ -299,6 +365,7 @@ class CleanSynchronous(DeliveryScenario):
 
     is_clean = True
     has_kernel = True
+    has_link_faults = False
 
     def transmits(self, edge: Edge, round_index: int) -> bool:
         return True
@@ -715,6 +782,8 @@ class ComposedScenario(DeliveryScenario):
             self._boundaries = ()
         self.is_clean = all(part.is_clean for part in self.parts)
         self.has_kernel = all(part.has_kernel for part in self.parts)
+        self.has_link_faults = any(part.has_link_faults for part in self.parts)
+        self.has_vertex_faults = any(part.has_vertex_faults for part in self.parts)
 
     @classmethod
     def overlay(cls, *parts: DeliveryScenario | str) -> "ComposedScenario":
@@ -752,6 +821,44 @@ class ComposedScenario(DeliveryScenario):
         if self.mode == "overlay":
             return all(part.transmits(edge, round_index) for part in self.parts)
         return self._active(round_index).transmits(edge, round_index)
+
+    def bind_nodes(self, nodes: Sequence[Hashable]) -> None:
+        for part in self.parts:
+            part.bind_nodes(nodes)
+
+    def faulty_vertices(self, round_index: int) -> frozenset:
+        if self.mode == "overlay":
+            faulty: frozenset = frozenset()
+            for part in self.parts:
+                faulty |= part.faulty_vertices(round_index)
+            return faulty
+        return self._active(round_index).faulty_vertices(round_index)
+
+    def corrupt_payload(
+        self, sender: Hashable, receiver: Hashable, round_index: int, payload: Any
+    ) -> Any:
+        if self.mode == "overlay":
+            for part in self.parts:
+                payload = part.corrupt_payload(sender, receiver, round_index, payload)
+            return payload
+        return self._active(round_index).corrupt_payload(
+            sender, receiver, round_index, payload
+        )
+
+    def corrupt_values(
+        self,
+        senders: np.ndarray,
+        receivers: np.ndarray,
+        round_index: int,
+        values: np.ndarray,
+    ) -> np.ndarray:
+        if self.mode == "overlay":
+            for part in self.parts:
+                values = part.corrupt_values(senders, receivers, round_index, values)
+            return values
+        return self._active(round_index).corrupt_values(
+            senders, receivers, round_index, values
+        )
 
     def transmit_mask(
         self, edge_ids: np.ndarray, first_round: int, num_rounds: int
@@ -893,6 +1000,20 @@ def build_composed(
     return ComposedScenario(parts, mode=op, durations=durations)
 
 
+def link_projection(scenario: DeliveryScenario) -> DeliveryScenario:
+    """The scenario's link-fault component, as seen by the word schedulers.
+
+    A scenario whose faults live entirely at the vertices
+    (``has_link_faults = False``) delivers words exactly like the clean
+    model, so the schedulers get a :class:`CleanSynchronous` stand-in and
+    keep their arithmetic fast path; anything with link faults is returned
+    unchanged.
+    """
+    if scenario.has_link_faults:
+        return scenario
+    return CleanSynchronous()
+
+
 def resolve_scenario(scenario: DeliveryScenario | str | None) -> DeliveryScenario:
     """Accept a scenario object, a registry name, or ``None`` (clean).
 
@@ -925,5 +1046,6 @@ __all__ = [
     "SCENARIOS",
     "available_scenarios",
     "build_composed",
+    "link_projection",
     "resolve_scenario",
 ]

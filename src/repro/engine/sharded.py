@@ -31,6 +31,7 @@ import multiprocessing
 import os
 import pickle
 import time
+from dataclasses import replace
 from typing import Hashable
 
 import networkx as nx
@@ -42,7 +43,11 @@ from repro.congest.vertex import VertexAlgorithm
 from repro.engine.backend import Backend, VertexFactory
 from repro.engine.delivery import GraphIndex, WordScheduler, payload_words
 from repro.engine.registry import register_backend
-from repro.engine.scenarios import DeliveryScenario, resolve_scenario
+from repro.engine.scenarios import (
+    DeliveryScenario,
+    link_projection,
+    resolve_scenario,
+)
 from repro.engine.shm import (
     ColumnBlock,
     ColumnReader,
@@ -100,6 +105,7 @@ class _ShardState:
         factory: VertexFactory,
         neighbor_map: dict[Hashable, tuple],
         n: int,
+        fault_scenario: "DeliveryScenario | None" = None,
     ):
         self.algorithms: dict[Hashable, VertexAlgorithm] = {
             v: factory(v, neighbor_map[v], n) for v in vertices
@@ -109,6 +115,21 @@ class _ShardState:
         # count toward the parent's active total or a spurious round runs.
         self.active = [v for v in vertices if not self.algorithms[v].halted]
         self.initial_halted = [v for v in vertices if self.algorithms[v].halted]
+        # Vertex-fault scenario (bound by the parent before the shards were
+        # created, so fork-inherited copies share its decisions): the shard
+        # skips stepping its crashed vertices, exactly as the parent skips
+        # their deliveries.  Decisions are pure seeded hashes, so the
+        # shard-side and parent-side views of the fault pattern agree.
+        self.fault_scenario = fault_scenario
+        self.crashed: set = set()
+
+    def _apply_crashes(self, round_index: int) -> None:
+        scenario = self.fault_scenario
+        if scenario is None:
+            return
+        for vertex in scenario.faulty_vertices(round_index):
+            if vertex in self.algorithms:
+                self.crashed.add(vertex)
 
     def step(
         self, round_index: int, deliveries: list[Message]
@@ -119,6 +140,8 @@ class _ShardState:
         drop deliveries addressed to halted vertices before they ever cross
         a pipe (the same rule every backend applies).
         """
+        self._apply_crashes(round_index)
+        crashed = self.crashed
         for message in deliveries:
             self.inboxes[message.receiver].append(message)
         outgoing: list[Message] = []
@@ -126,6 +149,10 @@ class _ShardState:
         newly_halted: list[Hashable] = []
         for vertex in self.active:
             algorithm = self.algorithms[vertex]
+            if vertex in crashed:
+                # Crash-stop: the vertex leaves the active set silently —
+                # not reported as halted (the parent tracks crashes itself).
+                continue
             if algorithm.halted:
                 newly_halted.append(vertex)
                 continue
@@ -149,11 +176,17 @@ class _ShardState:
 
     def finish(self) -> tuple[dict[Hashable, object], bool]:
         outputs = {v: alg.output for v, alg in self.algorithms.items()}
-        halted = all(alg.halted for alg in self.algorithms.values())
+        halted = all(
+            alg.halted
+            for v, alg in self.algorithms.items()
+            if v not in self.crashed
+        )
         return outputs, halted
 
 
-def _shard_worker(conn, vertices, factory, neighbor_map, n, channel) -> None:
+def _shard_worker(
+    conn, vertices, factory, neighbor_map, n, channel, fault_scenario=None
+) -> None:
     """Worker-process loop: step the shard once per parent request.
 
     ``channel`` is ``None`` for the pipe transport, or ``(down_block,
@@ -164,7 +197,9 @@ def _shard_worker(conn, vertices, factory, neighbor_map, n, channel) -> None:
     """
     down_reader = up_writer = None
     try:
-        state = _ShardState(vertices, factory, neighbor_map, n)
+        state = _ShardState(
+            vertices, factory, neighbor_map, n, fault_scenario=fault_scenario
+        )
         if channel is not None:
             down_block, up_block, nodes, vertex_index = channel
             # The fork-inherited objects carry the parent's owner flag;
@@ -233,8 +268,10 @@ class _InlineShard:
     no columnar packing, no shared memory, no pickling of any kind.
     """
 
-    def __init__(self, vertices, factory, neighbor_map, n):
-        self.state = _ShardState(vertices, factory, neighbor_map, n)
+    def __init__(self, vertices, factory, neighbor_map, n, fault_scenario=None):
+        self.state = _ShardState(
+            vertices, factory, neighbor_map, n, fault_scenario=fault_scenario
+        )
         self.initial_active = len(self.state.active)
         self.initial_halted = self.state.initial_halted
 
@@ -261,6 +298,7 @@ class _ProcessShard:
         self, context, vertices, factory, neighbor_map, n,
         index: GraphIndex | None = None, transport: str = "pipe",
         tracer: Tracer = NULL_TRACER, shard_id: int = 0,
+        fault_scenario: DeliveryScenario | None = None,
     ):
         self.vertices = vertices
         self.transport = transport if index is not None else "pipe"
@@ -280,7 +318,10 @@ class _ProcessShard:
         self._conn, child_conn = context.Pipe(duplex=True)
         self._process = context.Process(
             target=_shard_worker,
-            args=(child_conn, vertices, factory, neighbor_map, n, channel),
+            args=(
+                child_conn, vertices, factory, neighbor_map, n, channel,
+                fault_scenario,
+            ),
             daemon=True,
         )
         self._process.start()
@@ -464,8 +505,17 @@ class ShardedBackend(Backend):
         index = GraphIndex(graph)
         n = index.n
         neighbor_map = {v: tuple(graph.neighbors(v)) for v in index.nodes}
+        scenario_obj = resolve_scenario(scenario)
+        vertex_faults = scenario_obj.has_vertex_faults
+        if vertex_faults:
+            # Bind before forking so every shard inherits the bound caches
+            # and draws the identical fault pattern.
+            scenario_obj.bind_nodes(index.nodes)
+        fault_scenario = scenario_obj if vertex_faults else None
+        # The scheduler sees only the link component: vertex-fault-only
+        # scenarios keep the clean arithmetic scheduling path.
         scheduler = WordScheduler(
-            index, resolve_scenario(scenario), horizon=max_rounds, tracer=tracer
+            index, link_projection(scenario_obj), horizon=max_rounds, tracer=tracer
         )
 
         workers = self._resolve_workers(n)
@@ -497,11 +547,17 @@ class ShardedBackend(Backend):
                             context, part, factory, neighbor_map, n,
                             index=index, transport=transport,
                             tracer=tracer, shard_id=shard_id,
+                            fault_scenario=fault_scenario,
                         )
                     )
             else:
                 for part in partitions:
-                    shards.append(_InlineShard(part, factory, neighbor_map, n))
+                    shards.append(
+                        _InlineShard(
+                            part, factory, neighbor_map, n,
+                            fault_scenario=fault_scenario,
+                        )
+                    )
 
             owner = {
                 v: shard_id
@@ -515,6 +571,10 @@ class ShardedBackend(Backend):
             halted_vertices: set = set()
             for shard in shards:
                 halted_vertices.update(shard.initial_halted)
+            # Parent-side crash accumulator: mirrors the shards' own view
+            # (same scenario, same pure decisions) and drives the delivery
+            # drops and tracer events.
+            crashed_vertices: set = set()
             next_deliveries: list[list[Message]] = [[] for _ in shards]
             words_cache: dict[int, tuple[object, int]] = {}
 
@@ -523,6 +583,13 @@ class ShardedBackend(Backend):
                 if total_active == 0 and not scheduler.has_pending:
                     break
                 rounds_executed += 1
+                if vertex_faults:
+                    corrupted = 0
+                    for vertex in scenario_obj.faulty_vertices(round_index):
+                        if vertex not in crashed_vertices:
+                            crashed_vertices.add(vertex)
+                            if traced:
+                                tracer.vertex_crashed(round_index, vertex)
                 words_cache.clear()
                 if traced:
                     round_start = time.perf_counter()
@@ -577,13 +644,41 @@ class ShardedBackend(Backend):
                 if traced:
                     collect_done = time.perf_counter()
                 outgoing_words: list[int] = []
-                for message in outgoing:
-                    if not index.has_edge(message.sender, message.receiver):
-                        raise ValueError(
-                            f"vertex {message.sender!r} attempted to send to "
-                            f"non-neighbour {message.receiver!r}"
+                if vertex_faults:
+                    # Byzantine corruption is applied parent-side, after the
+                    # shards reply and before word sizing — the same
+                    # sender-side send-time semantics as every backend.
+                    checked: list[Message] = []
+                    for message in outgoing:
+                        if not index.has_edge(message.sender, message.receiver):
+                            raise ValueError(
+                                f"vertex {message.sender!r} attempted to send to "
+                                f"non-neighbour {message.receiver!r}"
+                            )
+                        payload = scenario_obj.corrupt_payload(
+                            message.sender, message.receiver, round_index,
+                            message.payload,
                         )
-                    outgoing_words.append(payload_words(message, n, words_cache))
+                        if payload is not message.payload:
+                            message = replace(message, payload=payload)
+                            corrupted += 1
+                        checked.append(message)
+                        outgoing_words.append(
+                            payload_words(message, n, words_cache)
+                        )
+                    outgoing = checked
+                    if traced and corrupted:
+                        tracer.payload_corrupted(round_index, corrupted)
+                else:
+                    for message in outgoing:
+                        if not index.has_edge(message.sender, message.receiver):
+                            raise ValueError(
+                                f"vertex {message.sender!r} attempted to send to "
+                                f"non-neighbour {message.receiver!r}"
+                            )
+                        outgoing_words.append(
+                            payload_words(message, n, words_cache)
+                        )
                 # Bulk enqueue: one transmit-mask prefix-sum query per round
                 # instead of a per-message decision replay.
                 scheduler.schedule_messages(outgoing, outgoing_words, round_index)
@@ -595,7 +690,13 @@ class ShardedBackend(Backend):
                 delivered, words_crossed = scheduler.deliver(round_index)
                 dropped = 0
                 for message in delivered:
-                    if message.receiver in halted_vertices:
+                    if message.receiver in halted_vertices or (
+                        vertex_faults
+                        and (
+                            message.sender in crashed_vertices
+                            or message.receiver in crashed_vertices
+                        )
+                    ):
                         dropped += 1
                         continue
                     next_deliveries[owner[message.receiver]].append(message)

@@ -46,7 +46,11 @@ from repro.congest.metrics import CongestMetrics
 from repro.congest.network import SynchronousRun
 from repro.congest.vertex import VertexFactory
 from repro.engine.delivery import GraphIndex, WordScheduler
-from repro.engine.scenarios import DeliveryScenario, resolve_scenario
+from repro.engine.scenarios import (
+    DeliveryScenario,
+    link_projection,
+    resolve_scenario,
+)
 from repro.obs.tracer import Tracer, resolve_tracer
 
 
@@ -325,17 +329,47 @@ def run_vector_algorithm(
     algo = algorithm(topology)
     if algo.halted.shape != (topology.n,):
         raise ValueError("VectorAlgorithm.halted must be a length-n bool array")
-    scheduler = WordScheduler(
-        index, resolve_scenario(scenario), horizon=max_rounds, tracer=tracer
-    )
+    scenario_obj = resolve_scenario(scenario)
+    vertex_faults = scenario_obj.has_vertex_faults
+    if vertex_faults:
+        scenario_obj.bind_nodes(topology.nodes)
     n = topology.n
+    # crashed[i]: dense vertex i is crash-stopped.  A crashed vertex's sends
+    # are suppressed, its deliveries (either direction) are dropped, and its
+    # output is frozen at its pre-crash value — exactly what not stepping
+    # the per-vertex twin produces.  The vector state array itself keeps
+    # evolving (one ``on_round`` steps everyone), but a crashed vertex's
+    # state can only reach the network through sends, which are filtered.
+    crashed = np.zeros(n, dtype=bool)
+    frozen_outputs: dict[Hashable, object] = {}
+    # The scheduler sees only the link component: vertex-fault-only
+    # scenarios keep the clean arithmetic scheduling path.
+    scheduler = WordScheduler(
+        index, link_projection(scenario_obj), horizon=max_rounds, tracer=tracer
+    )
     inbox = VectorInbox.empty()
 
     rounds_executed = 0
     for round_index in range(max_rounds):
-        if bool(algo.halted.all()) and not scheduler.has_pending:
+        if bool((algo.halted | crashed).all()) and not scheduler.has_pending:
             break
         rounds_executed += 1
+        if vertex_faults:
+            newly_crashed = [
+                v
+                for v in scenario_obj.faulty_vertices(round_index)
+                if not crashed[topology.id_of(v)]
+            ]
+            if newly_crashed:
+                # Freeze outputs as of the crash-round start = the state
+                # after the vertex's last completed round, which is what a
+                # never-stepped-again per-vertex twin reports.
+                snapshot = algo.outputs()
+                for v in newly_crashed:
+                    crashed[topology.id_of(v)] = True
+                    frozen_outputs[v] = snapshot[v]
+                    if traced:
+                        tracer.vertex_crashed(round_index, v)
         if traced:
             round_start = time.perf_counter()
             tracer.round_begin(
@@ -359,6 +393,21 @@ def run_vector_algorithm(
                 or int(receivers.min()) < 0 or int(receivers.max()) >= n
             ):
                 raise ValueError("VectorSends vertex ids out of range")
+            edge_ids = sends.edge_ids
+            if vertex_faults and crashed.any():
+                # A crashed vertex is silent: its rows are filtered out
+                # rather than validated (the vector state array cannot know
+                # who the scenario crashed).
+                keep_rows = ~crashed[senders]
+                if not keep_rows.all():
+                    senders = senders[keep_rows]
+                    receivers = receivers[keep_rows]
+                    values = values[keep_rows]
+                    words = words[keep_rows]
+                    if edge_ids is not None and int(edge_ids.size) == int(
+                        keep_rows.size
+                    ):
+                        edge_ids = np.asarray(edge_ids)[keep_rows]
             halted_senders = halted_before[senders]
             if halted_senders.any():
                 offender = int(senders[int(np.flatnonzero(halted_senders)[0])])
@@ -367,7 +416,6 @@ def run_vector_algorithm(
                 )
             if (words < 1).any():
                 raise ValueError("every send must cost at least one word")
-            edge_ids = sends.edge_ids
             if edge_ids is None:
                 edge_ids = topology.edge_id_lookup(senders, receivers)
             elif int(edge_ids.size) != int(senders.size):
@@ -376,6 +424,18 @@ def run_vector_algorithm(
                 raise ValueError(
                     "VectorSends.edge_ids must have one entry per send"
                 )
+            if vertex_faults:
+                # Batch Byzantine corruption, sender-side before scheduling
+                # — the array twin of ``corrupt_payload``.
+                corrupted = scenario_obj.corrupt_values(
+                    senders, receivers, round_index, values
+                )
+                if corrupted is not values:
+                    if traced:
+                        tracer.payload_corrupted(
+                            round_index, int((corrupted != values).sum())
+                        )
+                    values = corrupted
             if traced:
                 compute_done = time.perf_counter()
                 tracer.span_add(
@@ -408,6 +468,11 @@ def run_vector_algorithm(
         dropped = 0
         if delivered_count:
             keep = ~algo.halted[d_receivers]
+            if vertex_faults:
+                # Crashed endpoints drop the delivery like a halted
+                # receiver: the words crossed, the message is discarded.
+                keep &= ~crashed[d_senders]
+                keep &= ~crashed[d_receivers]
             dropped = delivered_count - int(keep.sum())
             if dropped:
                 # Same rule as every per-vertex backend: deliveries to
@@ -433,7 +498,9 @@ def run_vector_algorithm(
             )
 
     outputs = algo.outputs()
-    halted = bool(algo.halted.all())
+    if frozen_outputs:
+        outputs.update(frozen_outputs)
+    halted = bool(algo.halted[~crashed].all())
     return SynchronousRun(
         rounds=rounds_executed,
         metrics=metrics,

@@ -21,12 +21,18 @@ import time
 
 import networkx as nx
 
+from dataclasses import replace
+
 from repro.congest.metrics import CongestMetrics
 from repro.congest.network import SynchronousRun
 from repro.engine.backend import Backend, VertexFactory
 from repro.engine.delivery import GraphIndex, WordScheduler, payload_words
 from repro.engine.registry import register_backend
-from repro.engine.scenarios import DeliveryScenario, resolve_scenario
+from repro.engine.scenarios import (
+    DeliveryScenario,
+    link_projection,
+    resolve_scenario,
+)
 from repro.engine.vector import is_vector_algorithm, run_vector_algorithm
 from repro.obs.tracer import Tracer, resolve_tracer
 
@@ -77,8 +83,18 @@ class VectorizedBackend(Backend):
             v: factory(v, tuple(graph.neighbors(v)), n) for v in index.nodes
         }
         inboxes: dict = {v: [] for v in index.nodes}
+        scenario_obj = resolve_scenario(scenario)
+        vertex_faults = scenario_obj.has_vertex_faults
+        if vertex_faults:
+            scenario_obj.bind_nodes(index.nodes)
+        crashed: set = set()
+        # The scheduler sees only the link component: vertex-fault-only
+        # scenarios keep the clean arithmetic scheduling path.
         scheduler = WordScheduler(
-            index, resolve_scenario(scenario), horizon=max_rounds, tracer=tracer
+            index,
+            link_projection(scenario_obj),
+            horizon=max_rounds,
+            tracer=tracer,
         )
         active = index.nodes
         words_cache: dict[int, tuple[object, int]] = {}
@@ -89,6 +105,18 @@ class VectorizedBackend(Backend):
             if not active and not scheduler.has_pending:
                 break
             rounds_executed += 1
+            if vertex_faults:
+                # Crash application mirrors the reference simulator's order:
+                # after the termination check, before compute, so round
+                # counts agree across backends.
+                corrupted = 0
+                for vertex in scenario_obj.faulty_vertices(round_index):
+                    if vertex not in crashed:
+                        crashed.add(vertex)
+                        if traced:
+                            tracer.vertex_crashed(round_index, vertex)
+                if crashed:
+                    active = [v for v in active if v not in crashed]
             if traced:
                 round_start = time.perf_counter()
                 tracer.round_begin(
@@ -114,6 +142,15 @@ class VectorizedBackend(Backend):
                             f"vertex {vertex!r} attempted to send to non-neighbour "
                             f"{message.receiver!r}"
                         )
+                    if vertex_faults:
+                        # Sender-side Byzantine corruption, before word
+                        # sizing — identical to the reference simulator.
+                        payload = scenario_obj.corrupt_payload(
+                            vertex, message.receiver, round_index, message.payload
+                        )
+                        if payload is not message.payload:
+                            message = replace(message, payload=payload)
+                            corrupted += 1
                     outgoing.append(message)
                     outgoing_words.append(payload_words(message, n, words_cache))
             if traced:
@@ -121,6 +158,8 @@ class VectorizedBackend(Backend):
                 tracer.span_add(
                     "compute", compute_done - round_start, round_index
                 )
+                if vertex_faults and corrupted:
+                    tracer.payload_corrupted(round_index, corrupted)
             # One bulk enqueue per round: completion rounds for the whole
             # batch come from a single transmit-mask prefix-sum query, so
             # faulty kernel scenarios schedule as fast as clean ones.
@@ -134,8 +173,12 @@ class VectorizedBackend(Backend):
             dropped = 0
             for message in delivered:
                 # Same rule as the reference simulator: a halted receiver
-                # never consumes its inbox, so queueing would leak memory.
-                if algorithms[message.receiver].halted:
+                # never consumes its inbox, so queueing would leak memory;
+                # crashed endpoints drop the delivery the same way.
+                if algorithms[message.receiver].halted or (
+                    vertex_faults
+                    and (message.sender in crashed or message.receiver in crashed)
+                ):
                     dropped += 1
                     continue
                 inboxes[message.receiver].append(message)
@@ -156,7 +199,9 @@ class VectorizedBackend(Backend):
                 )
 
         outputs = {v: alg.output for v, alg in algorithms.items()}
-        halted = all(alg.halted for alg in algorithms.values())
+        halted = all(
+            alg.halted for v, alg in algorithms.items() if v not in crashed
+        )
         return SynchronousRun(
             rounds=rounds_executed,
             metrics=metrics,

@@ -110,6 +110,14 @@ def _backend_accepts_tracer(engine: Backend) -> bool:
     return known
 
 
+# RunResult fields that deliberately never appear in to_row(): identity
+# and transport-only data, invisible to ResultSet.digest() by design.
+# REP007 (digest-field drift) checks every dataclass field is either a
+# to_row() key or listed here — extend this set consciously, not by
+# forgetting a field.
+_ROW_EXCLUDED = frozenset({"spec_name", "outputs", "cell_index"})
+
+
 @dataclass
 class RunResult:
     """One executed experiment cell.
@@ -135,6 +143,10 @@ class RunResult:
             over repeats) when the session ran with a tracer; empty
             otherwise.  Wall-clock-derived, so excluded from
             :meth:`ResultSet.digest` like ``seconds``.
+        round_stretch: compiled-over-bare round ratio reported by runs that
+            carry one (the robust compiler's cost measure); ``None`` for
+            ordinary runs.  Deterministic (a ratio of round counts), so it
+            participates in :meth:`ResultSet.digest`.
     """
 
     spec_name: str
@@ -153,6 +165,7 @@ class RunResult:
     seconds: tuple[float, ...]
     output_digest: str
     outputs: dict[Hashable, Any] | None = None
+    round_stretch: float | None = None
     cell_index: int = 0
     timings: dict[str, float] = field(default_factory=dict)
 
@@ -213,6 +226,10 @@ class RunResult:
             "words_per_second": round(self.words_per_second, 1),
             "rounds_per_second": round(self.rounds_per_second, 1),
             "timings": {k: round(v, 6) for k, v in sorted(self.timings.items())},
+            "round_stretch": (
+                None if self.round_stretch is None
+                else round(self.round_stretch, 4)
+            ),
             "output_digest": self.output_digest,
         }
 
@@ -538,6 +555,7 @@ class Session:
             seconds=tuple(seconds),
             output_digest=signature[-1],
             outputs=dict(run.outputs) if self.keep_outputs else None,
+            round_stretch=getattr(run, "round_stretch", None),
             cell_index=cell_index,
             timings=timings,
         )

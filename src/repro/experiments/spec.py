@@ -52,6 +52,9 @@ from repro.graphs import (
 
 graph_source_registry = Registry("graph source")
 workload_registry = Registry("workload")
+# The robust compiler's driver workload registers on first lookup, so specs
+# can name "robust-compiled" without an explicit import of repro.robust.
+workload_registry.lazy_modules.append("repro.robust.workload")
 
 _UNSET = object()
 

@@ -1,4 +1,4 @@
-"""The shipped lint rules, REP001–REP006.
+"""The shipped lint rules, REP001–REP007.
 
 Every rule here guards an invariant that has actually been broken (or
 nearly broken) in this repo's history:
@@ -22,6 +22,12 @@ nearly broken) in this repo's history:
 * REP006 — E16 pins null-tracer overhead at <= 3%; an unguarded tracer
   event call in a round loop pays dict/f-string costs even when
   tracing is off.
+* REP007 — ``round_stretch`` was added to ``RunResult`` and had to show
+  up in ``to_row()`` to be digested; a field added to the dataclass but
+  silently missing from the row is invisible to ``ResultSet.digest()``
+  and to every committed ``BENCH_*.json`` — drift the type checker
+  cannot see.  Fields that are deliberately row-free must be listed in
+  ``_ROW_EXCLUDED`` next to the dataclass.
 """
 
 from __future__ import annotations
@@ -44,6 +50,7 @@ __all__ = [
     "rep004_fork_worker_safety",
     "rep005_registry_hygiene",
     "rep006_tracer_hot_path",
+    "rep007_digest_field_drift",
 ]
 
 
@@ -659,6 +666,8 @@ _TRACER_EVENT_METHODS = frozenset(
         "round_end",
         "messages_scheduled",
         "edges_blocked",
+        "vertex_crashed",
+        "payload_corrupted",
         "messages_delivered",
         "arrays_delivered",
         "scheduler_batch",
@@ -763,3 +772,158 @@ def rep006_tracer_hot_path(ctx: ModuleContext) -> Iterable[Finding]:
                 "`if tracer.enabled` guard; hot loops must pay one attribute "
                 "check, not an event call, when untraced",
             )
+
+
+# ---------------------------------------------------------------------------
+# REP007 — digest-field drift
+# ---------------------------------------------------------------------------
+
+
+def _string_set_literal(node: ast.AST) -> frozenset[str] | None:
+    """Constant strings of a ``{...}`` / ``frozenset({...})`` literal."""
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        if name in ("frozenset", "set") and len(node.args) == 1:
+            return _string_set_literal(node.args[0])
+        return None
+    if isinstance(node, (ast.Set, ast.List, ast.Tuple)):
+        values = set()
+        for element in node.elts:
+            if not (
+                isinstance(element, ast.Constant)
+                and isinstance(element.value, str)
+            ):
+                return None
+            values.add(element.value)
+        return frozenset(values)
+    return None
+
+
+def _dict_literal_keys(scope: ast.AST) -> frozenset[str]:
+    keys = set()
+    for node in walk_scope(scope):
+        if isinstance(node, ast.Dict):
+            for key in node.keys:
+                if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                    keys.add(key.value)
+    return frozenset(keys)
+
+
+def _method(node: ast.ClassDef, name: str) -> ast.FunctionDef | None:
+    return next(
+        (
+            item
+            for item in node.body
+            if isinstance(item, ast.FunctionDef) and item.name == name
+        ),
+        None,
+    )
+
+
+@register_rule(
+    "REP007",
+    name="digest-field-drift",
+    severity="error",
+    description=(
+        "every RunResult dataclass field must reach the digest via the "
+        "to_row() dict or be listed in _ROW_EXCLUDED; silent omissions "
+        "drift out of ResultSet.digest() and BENCH_*.json"
+    ),
+)
+def rep007_digest_field_drift(ctx: ModuleContext) -> Iterable[Finding]:
+    run_result = next(
+        (
+            node
+            for node in ast.walk(ctx.tree)
+            if isinstance(node, ast.ClassDef) and node.name == "RunResult"
+        ),
+        None,
+    )
+    if run_result is None:
+        return
+
+    fields = [
+        item.target.id
+        for item in run_result.body
+        if isinstance(item, ast.AnnAssign)
+        and isinstance(item.target, ast.Name)
+        and not item.target.id.startswith("_")
+    ]
+
+    to_row = _method(run_result, "to_row")
+    row_keys = _dict_literal_keys(to_row) if to_row is not None else frozenset()
+    if to_row is None:
+        yield ctx.finding(
+            "REP007",
+            run_result,
+            "RunResult has no to_row() method; fields cannot reach "
+            "ResultSet.digest()",
+        )
+        return
+
+    excluded: frozenset[str] = frozenset()
+    for node in ctx.tree.body:
+        if (
+            isinstance(node, ast.Assign)
+            and any(
+                isinstance(target, ast.Name) and target.id == "_ROW_EXCLUDED"
+                for target in node.targets
+            )
+        ):
+            literal = _string_set_literal(node.value)
+            if literal is not None:
+                excluded = literal
+
+    for field_name in fields:
+        if field_name not in row_keys and field_name not in excluded:
+            yield ctx.finding(
+                "REP007",
+                run_result,
+                f"RunResult field {field_name!r} is neither a to_row() key "
+                "(digested) nor listed in _ROW_EXCLUDED (explicitly row-free); "
+                "it would silently drift out of ResultSet.digest()",
+            )
+    for name in sorted(excluded):
+        if name in row_keys:
+            yield ctx.finding(
+                "REP007",
+                run_result,
+                f"_ROW_EXCLUDED lists {name!r} but to_row() emits that key; "
+                "a field is digested or excluded, never both",
+            )
+        elif name not in fields:
+            yield ctx.finding(
+                "REP007",
+                run_result,
+                f"_ROW_EXCLUDED lists {name!r} which is not a RunResult "
+                "field; remove the stale exclusion",
+            )
+
+    result_set = next(
+        (
+            node
+            for node in ast.walk(ctx.tree)
+            if isinstance(node, ast.ClassDef) and node.name == "ResultSet"
+        ),
+        None,
+    )
+    if result_set is not None:
+        digest = _method(result_set, "digest")
+        if digest is not None:
+            for node in walk_scope(digest):
+                if not isinstance(node, ast.Delete):
+                    continue
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Subscript)
+                        and isinstance(target.slice, ast.Constant)
+                        and isinstance(target.slice.value, str)
+                        and target.slice.value not in row_keys
+                    ):
+                        yield ctx.finding(
+                            "REP007",
+                            node,
+                            f"ResultSet.digest() deletes row key "
+                            f"{target.slice.value!r} which to_row() never "
+                            "emits; stale exclusion (KeyError at runtime)",
+                        )

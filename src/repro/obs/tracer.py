@@ -177,6 +177,28 @@ class Tracer:
         busy directed edges whose head word the scenario held back."""
         self._emit({"kind": "blocked", "round": round_index, "count": count})
 
+    # -- vertex-fault events ----------------------------------------------------
+
+    def vertex_crashed(self, round_index: int, vertex: Hashable) -> None:
+        """A vertex-fault scenario crashed ``vertex`` at the start of
+        ``round_index``: it stops computing and sending, and its in-flight
+        words are dropped at delivery."""
+        self._emit(
+            {
+                "kind": "vertex_crashed",
+                "round": round_index,
+                "vertex": vertex,
+                "ts": self._now(),
+            }
+        )
+
+    def payload_corrupted(self, round_index: int, count: int) -> None:
+        """``count`` payloads sent this round were corrupted by Byzantine
+        senders (sender-side, before fragmentation)."""
+        self._emit(
+            {"kind": "payload_corrupted", "round": round_index, "count": count}
+        )
+
     def messages_delivered(self, round_index: int, messages: Sequence) -> None:
         """The round's delivered messages (pre halted-receiver drops).
 
@@ -453,6 +475,12 @@ class NullTracer(Tracer):
         pass
 
     def edges_blocked(self, *args, **kwargs) -> None:
+        pass
+
+    def vertex_crashed(self, *args, **kwargs) -> None:
+        pass
+
+    def payload_corrupted(self, *args, **kwargs) -> None:
         pass
 
     def messages_delivered(self, *args, **kwargs) -> None:

@@ -1,0 +1,38 @@
+"""Fault-tolerant computation: scenarios, coding, and the robust compiler.
+
+The subsystem has four layers, bottom up:
+
+* :mod:`repro.robust.coding` — payload/symbol codec and the GF(2^16)
+  Cauchy erasure code;
+* :mod:`repro.robust.strategies` — how a replica group spreads one logical
+  payload (full-copy replication vs checksummed code shares);
+* :mod:`repro.robust.compiler` — :func:`compile_robust`, wrapping any
+  algorithm into a replicated protocol that survives the vertex faults of
+* :mod:`repro.robust.scenarios` — crash-stop and Byzantine vertex
+  scenarios (registered lazily as ``crash-vertices`` /
+  ``byzantine-vertices``).
+
+The ``robust-compiled`` driver workload (:mod:`repro.robust.workload`)
+exposes the compiler to experiment specs and the E19 benchmark.
+"""
+
+from repro.robust.compiler import RobustCompiled, compile_robust, replica_graph
+from repro.robust.scenarios import ByzantineVertexScenario, CrashStopVertexScenario
+from repro.robust.strategies import (
+    ErasureCodingStrategy,
+    ReplicationStrategy,
+    RobustStrategy,
+    resolve_strategy,
+)
+
+__all__ = [
+    "ByzantineVertexScenario",
+    "CrashStopVertexScenario",
+    "ErasureCodingStrategy",
+    "ReplicationStrategy",
+    "RobustCompiled",
+    "RobustStrategy",
+    "compile_robust",
+    "replica_graph",
+    "resolve_strategy",
+]

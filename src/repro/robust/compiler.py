@@ -1,0 +1,247 @@
+"""The fault-tolerant compiler: wrap any algorithm to survive vertex faults.
+
+:func:`compile_robust` takes an arbitrary per-vertex algorithm (or a
+:class:`~repro.engine.vector.VectorAlgorithm` with a ``per_vertex`` twin)
+and a :class:`~repro.robust.strategies.RobustStrategy`, and produces a
+*compiled* protocol that executes the same logical computation on a
+replicated topology:
+
+* every logical vertex ``v`` becomes a group of ``k`` physical replicas
+  ``(v, 0) .. (v, k-1)``, every logical edge the complete bipartite bundle
+  between the two groups (:func:`replica_graph`);
+* each replica runs the unmodified inner algorithm, but the wrapper
+  intercepts its mailbox in both directions: outgoing logical messages are
+  spread over the group per the strategy (full copies for replication, code
+  shares for erasure coding), incoming physical messages are grouped by
+  sending group and voted/decoded back into at most one logical message;
+* logical outputs are recovered by majority vote across each group.
+
+Because the inner algorithm is deterministic and every replica of a group
+receives the identical decoded mailbox, all live replicas trace the *same*
+logical execution — the bare algorithm's clean run — even while crash-stop
+faults silence replicas and Byzantine faults corrupt wire payloads
+(:mod:`repro.robust.scenarios`).  The grouping step relies on a CONGEST
+invariant the engine enforces: one word per edge per round means at most
+one message completes per directed edge per round, and all replicas of a
+sender share identical queue histories, so everything that arrives from one
+group in one round belongs to one logical message.
+
+The compiled run reports its cost as ``round_stretch`` on the returned
+:class:`~repro.congest.network.SynchronousRun`: physical rounds over the
+bare clean run's rounds (replication ~1.0; erasure coding a small constant
+from the per-share checksum/framing overhead).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterable
+
+import networkx as nx
+
+from repro.congest.message import Message
+from repro.congest.metrics import CongestMetrics
+from repro.congest.network import SynchronousRun
+from repro.congest.vertex import VertexAlgorithm, VertexFactory
+from repro.engine.backend import Backend
+from repro.engine.runner import resolve_backend
+from repro.engine.scenarios import DeliveryScenario
+from repro.engine.vector import as_vertex_factory, is_vector_algorithm
+from repro.obs.tracer import Tracer
+from repro.robust.strategies import (
+    RobustStrategy,
+    majority_vote,
+    resolve_strategy,
+)
+
+__all__ = ["RobustCompiled", "compile_robust", "replica_graph"]
+
+
+def replica_graph(graph: nx.Graph, k: int) -> nx.Graph:
+    """The replicated topology: ``k`` replicas per vertex, bundled edges.
+
+    Nodes are ``(v, i)`` pairs; each logical edge ``{u, v}`` becomes the
+    complete bipartite bundle between the two groups.  Groups need no
+    internal edges: replicas never talk to their siblings — they stay in
+    agreement by determinism, not by communication.
+    """
+    if k < 1:
+        raise ValueError(f"replica count must be >= 1; got {k}")
+    physical = nx.Graph()
+    for v in graph.nodes:
+        for i in range(k):
+            physical.add_node((v, i))
+    for u, v in graph.edges:
+        for i in range(k):
+            for j in range(k):
+                physical.add_edge((u, i), (v, j))
+    return physical
+
+
+class _RobustReplica(VertexAlgorithm):
+    """One physical replica: the inner algorithm behind a coding mailbox."""
+
+    def __init__(
+        self,
+        inner_factory: VertexFactory,
+        strategy: RobustStrategy,
+        vertex: tuple[Hashable, int],
+        neighbors: Iterable[Hashable],
+        n: int,
+    ):
+        super().__init__(vertex, neighbors, n)
+        self._strategy = strategy
+        self._logical, self._index = vertex
+        logical_neighbors = sorted(
+            {u for u, _ in self.neighbors if u != self._logical}
+        )
+        self._inner = inner_factory(
+            self._logical, logical_neighbors, n // strategy.k
+        )
+
+    def on_round(self, round_index: int, inbox: list[Message]) -> list[Message]:
+        strategy = self._strategy
+        groups: dict[tuple[Hashable, str], list[tuple[int, Any]]] = {}
+        for message in inbox:
+            sender, index = message.sender
+            groups.setdefault((sender, message.tag), []).append(
+                (index, message.payload)
+            )
+        logical_inbox = []
+        for (sender, tag), entries in sorted(
+            groups.items(), key=lambda item: (repr(item[0][0]), item[0][1])
+        ):
+            ok, payload = strategy.decode(entries, sender=sender, tag=tag)
+            if ok:
+                logical_inbox.append(
+                    Message(
+                        sender=sender,
+                        receiver=self._logical,
+                        tag=tag,
+                        payload=payload,
+                    )
+                )
+        sent = self._inner.on_round(round_index, logical_inbox)
+        outgoing = []
+        for message in sent:
+            shares = strategy.shares(
+                message.payload, sender=self._logical, tag=message.tag
+            )
+            mine = shares[self._index]
+            for j in range(strategy.k):
+                outgoing.append(
+                    Message(
+                        sender=self.vertex,
+                        receiver=(message.receiver, j),
+                        tag=message.tag,
+                        payload=mine,
+                    )
+                )
+        # Mirror the inner state every round, so a crash freezes this
+        # replica's vote at the inner algorithm's latest local output.
+        self.output = self._inner.output
+        if self._inner.halted:
+            self.halt()
+        return outgoing
+
+
+class RobustCompiled:
+    """A compiled protocol: run the inner algorithm on a replicated topology.
+
+    Produced by :func:`compile_robust`; :meth:`run` mirrors the backend
+    ``run`` signature and returns a logical-level
+    :class:`~repro.congest.network.SynchronousRun` whose outputs are the
+    group-voted logical outputs and whose ``round_stretch`` compares the
+    compiled execution against the bare algorithm's clean round count.
+    """
+
+    def __init__(self, algorithm: VertexFactory, strategy: RobustStrategy):
+        self.algorithm = algorithm
+        self.strategy = strategy
+        self.inner_factory = (
+            as_vertex_factory(algorithm)
+            if is_vector_algorithm(algorithm)
+            else algorithm
+        )
+
+    def factory(self, vertex, neighbors, n) -> _RobustReplica:
+        """The physical-vertex factory the engine backends drive."""
+        return _RobustReplica(
+            self.inner_factory, self.strategy, vertex, neighbors, n
+        )
+
+    def run(
+        self,
+        graph: nx.Graph,
+        *,
+        backend: Backend | str | None = None,
+        scenario: DeliveryScenario | None = None,
+        max_rounds: int = 10_000,
+        phase: str = "simulated",
+        metrics: CongestMetrics | None = None,
+        tracer: Tracer | None = None,
+        baseline_rounds: int | None = None,
+    ) -> SynchronousRun:
+        """Execute the compiled protocol on ``graph`` under ``scenario``.
+
+        ``baseline_rounds`` (the bare algorithm's clean round count, the
+        stretch denominator) is measured with a clean run on the same
+        backend when not supplied.
+        """
+        engine = resolve_backend(backend)
+        if baseline_rounds is None:
+            baseline_rounds = engine.run(
+                graph, self.algorithm, max_rounds=max_rounds, phase=phase
+            ).rounds
+        physical = engine.run(
+            replica_graph(graph, self.strategy.k),
+            self.factory,
+            max_rounds=max_rounds,
+            phase=phase,
+            metrics=metrics,
+            scenario=scenario,
+            tracer=tracer,
+        )
+        outputs = {}
+        for v in graph.nodes:
+            outputs[v] = majority_vote(
+                [physical.outputs[(v, i)] for i in range(self.strategy.k)]
+            )
+        stretch = (
+            physical.rounds / baseline_rounds if baseline_rounds else None
+        )
+        return SynchronousRun(
+            rounds=physical.rounds,
+            metrics=physical.metrics,
+            outputs=outputs,
+            halted=physical.halted,
+            round_stretch=stretch,
+        )
+
+    def describe(self) -> str:
+        return (
+            f"RobustCompiled(strategy={self.strategy.describe()}, "
+            f"k={self.strategy.k})"
+        )
+
+
+def compile_robust(
+    algorithm: VertexFactory,
+    *,
+    strategy: RobustStrategy | str,
+    **strategy_params: Any,
+) -> RobustCompiled:
+    """Wrap ``algorithm`` so it survives vertex and link failures.
+
+    Args:
+        algorithm: a per-vertex factory, or a
+            :class:`~repro.engine.vector.VectorAlgorithm` subclass (its
+            ``per_vertex`` twin runs inside the replicas).
+        strategy: a :class:`~repro.robust.strategies.RobustStrategy`
+            instance, or a name (``"replication"`` / ``"erasure-coding"``)
+            resolved with ``strategy_params``.
+
+    Returns:
+        A :class:`RobustCompiled` whose :meth:`~RobustCompiled.run` executes
+        the replicated protocol and decodes logical outputs.
+    """
+    return RobustCompiled(algorithm, resolve_strategy(strategy, **strategy_params))

@@ -1,0 +1,315 @@
+"""Vertex-level fault scenarios: crash-stop and Byzantine processors.
+
+The link-fault scenarios (:mod:`repro.engine.scenarios`) perturb *edges*;
+these two perturb the *processors* themselves, which is the fault model the
+robust-computation compiler (:mod:`repro.robust.compiler`) is built to
+survive:
+
+* :class:`CrashStopVertexScenario` — a deterministic seeded subset of
+  vertices dies at a seeded round and stays silent forever.  Crashed
+  vertices stop computing and sending; words they queued before dying
+  still consume bandwidth but are dropped at delivery (and counted in
+  :class:`~repro.congest.metrics.CongestMetrics`), exactly like
+  deliveries to halted vertices.
+* :class:`ByzantineVertexScenario` — a deterministic seeded subset keeps
+  running but *lies*: every integer word of every payload it sends is
+  XOR-flipped with a per-``(sender, receiver, round)`` mask.  Word counts
+  never change (an int is one CONGEST word regardless of value), so the
+  corruption is invisible to bandwidth accounting and to the schedulers —
+  only the receiving algorithm sees wrong values.
+
+Both scenarios follow the engine's determinism discipline: every decision
+is a pure splitmix64/blake2b function of ``(seed, vertex, round)``, so all
+three backends (and forked shard workers) observe the identical fault
+pattern, pinned by the property suite.  Links stay clean
+(``has_link_faults = False``), which keeps the batch schedulers on their
+arithmetic fast path; the explicit all-ones :meth:`transmit_mask` kernels
+exist so the scenario contract (REP005) holds uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Sequence
+
+import numpy as np
+
+from repro.engine.registry import register_scenario
+from repro.engine.scenarios import (
+    _EDGE_U,
+    _EDGE_V,
+    _GOLDEN,
+    _MASK64,
+    DeliveryScenario,
+    Edge,
+    _mix64,
+    _mix64_array,
+    _VertexHashMixin,
+)
+
+__all__ = ["CrashStopVertexScenario", "ByzantineVertexScenario"]
+
+# Salts separating the independent per-vertex draws (who is faulty, when a
+# crash fires) and the per-(sender, receiver, round) corruption mask.
+_SELECT_SALT = 0x452821E638D01377
+_ROUND_SALT = 0xBE5466CF34E90C6C
+_FLIP_SALT = 0xC0AC29B7C97C50DD
+
+
+class _VertexFaultBase(_VertexHashMixin, DeliveryScenario):
+    """Shared machinery: seeded faulty-set selection over bound nodes."""
+
+    has_kernel = True
+    has_link_faults = False
+    has_vertex_faults = True
+
+    def __init__(self, max_faulty: int, fraction: float | None, seed: int):
+        if max_faulty < 0:
+            raise ValueError(f"max_faulty must be >= 0; got {max_faulty}")
+        if fraction is not None and not 0.0 <= fraction < 1.0:
+            raise ValueError(f"fraction must be in [0, 1); got {fraction}")
+        self.max_faulty = max_faulty
+        self.fraction = fraction
+        self.seed = seed
+        self._bound_nodes: list[Hashable] | None = None
+
+    def _fault_count(self, n: int) -> int:
+        if self.fraction is not None:
+            return min(int(round(self.fraction * n)), n)
+        return min(self.max_faulty, n)
+
+    def _select_faulty(self, nodes: list[Hashable]) -> list[Hashable]:
+        """The ``count`` smallest-hash vertices: a seeded, order-independent
+        budgeted draw (ties broken by repr, so exotic labels stay stable)."""
+        count = self._fault_count(len(nodes))
+        if count == 0:
+            return []
+        scored = sorted(
+            nodes,
+            key=lambda v: (_mix64(self._vertex_hash(v) + _SELECT_SALT), repr(v)),
+        )
+        return scored[:count]
+
+    def transmits(self, edge: Edge, round_index: int) -> bool:
+        return True
+
+    def transmit_mask(
+        self, edge_ids: np.ndarray, first_round: int, num_rounds: int
+    ) -> np.ndarray:
+        # Links are clean under vertex faults; the schedulers normally
+        # bypass this entirely via the link projection.
+        return np.ones((np.asarray(edge_ids).size, num_rounds), dtype=bool)
+
+    def _require_bound(self) -> None:
+        if self._bound_nodes is None:
+            raise RuntimeError(
+                f"{type(self).__name__} needs bind_nodes() first "
+                f"(the engine backends bind automatically)"
+            )
+
+
+@register_scenario("crash-vertices")
+class CrashStopVertexScenario(_VertexFaultBase):
+    """A seeded subset of vertices crash-stops at a seeded round.
+
+    Each faulty vertex ``v`` dies at ``first_round +
+    splitmix64(hash(v) + salt) % window`` and stays silent forever: it is
+    no longer stepped, sends nothing, and every word still in flight to or
+    from it is dropped at delivery (after consuming bandwidth), mirroring
+    the halted-receiver rule.  The faulty subset is the budgeted seeded
+    draw of :class:`_VertexFaultBase`: ``max_faulty`` vertices (or
+    ``round(fraction * n)`` when ``fraction`` is given), chosen purely from
+    per-vertex hashes so every backend — and every forked shard — agrees.
+    """
+
+    _hash_label = "crash-vertices"
+
+    def __init__(
+        self,
+        max_faulty: int = 1,
+        fraction: float | None = None,
+        first_round: int = 1,
+        window: int = 8,
+        seed: int = 0,
+    ):
+        super().__init__(max_faulty, fraction, seed)
+        if first_round < 0:
+            raise ValueError(f"first_round must be >= 0; got {first_round}")
+        if window < 1:
+            raise ValueError(f"window must be >= 1; got {window}")
+        self.first_round = first_round
+        self.window = window
+        self._crash_rounds: dict[Hashable, int] | None = None
+
+    def bind_nodes(self, nodes: Sequence[Hashable]) -> None:
+        self._bound_nodes = list(nodes)
+        self._crash_rounds = {
+            v: self.first_round
+            + _mix64(self._vertex_hash(v) + _ROUND_SALT) % self.window
+            for v in self._select_faulty(self._bound_nodes)
+        }
+
+    def crash_rounds(self) -> dict[Hashable, int]:
+        """Faulty vertex -> the round it dies at (requires bound nodes)."""
+        self._require_bound()
+        return dict(self._crash_rounds)
+
+    def faulty_vertices(self, round_index: int) -> frozenset:
+        self._require_bound()
+        return frozenset(
+            v for v, r in self._crash_rounds.items() if r <= round_index
+        )
+
+    def spec_params(self) -> dict[str, Any]:
+        return {
+            "max_faulty": self.max_faulty,
+            "fraction": self.fraction,
+            "first_round": self.first_round,
+            "window": self.window,
+            "seed": self.seed,
+        }
+
+    def describe(self) -> str:
+        budget = (
+            f"fraction={self.fraction}"
+            if self.fraction is not None
+            else f"max_faulty={self.max_faulty}"
+        )
+        return (
+            f"CrashStopVertexScenario({budget}, first_round={self.first_round}, "
+            f"window={self.window}, seed={self.seed})"
+        )
+
+
+@register_scenario("byzantine-vertices")
+class ByzantineVertexScenario(_VertexFaultBase):
+    """A seeded subset of vertices keeps running but corrupts every payload.
+
+    From ``start_round`` on, every integer word a faulty sender emits is
+    XOR-flipped with ``splitmix64(hash(sender) * U + hash(receiver) * V +
+    GOLDEN * round + salt)`` masked to 31 bits (low bit forced, so a
+    corrupted int always differs).  The same mask applies to every int of
+    one payload; tuples and lists are rebuilt recursively, other payload
+    types pass through untouched.  Because an int costs one CONGEST word
+    regardless of value, corruption never changes word counts — bandwidth
+    accounting and scheduling are identical to the clean run, only the
+    *values* lie.  Byzantine vertices never crash, so
+    :meth:`faulty_vertices` stays empty.
+    """
+
+    _hash_label = "byzantine-vertices"
+
+    def __init__(
+        self,
+        max_faulty: int = 1,
+        fraction: float | None = None,
+        start_round: int = 0,
+        seed: int = 0,
+    ):
+        super().__init__(max_faulty, fraction, seed)
+        if start_round < 0:
+            raise ValueError(f"start_round must be >= 0; got {start_round}")
+        self.start_round = start_round
+        self._faulty: frozenset | None = None
+        self._faulty_mask: np.ndarray | None = None
+        self._vhash_by_id: np.ndarray | None = None
+
+    def bind_nodes(self, nodes: Sequence[Hashable]) -> None:
+        self._bound_nodes = list(nodes)
+        self._faulty = frozenset(self._select_faulty(self._bound_nodes))
+        n = len(self._bound_nodes)
+        # Dense-id kernels for the vector fast path's batch corruption.
+        self._vhash_by_id = np.fromiter(
+            (self._vertex_hash(v) for v in self._bound_nodes),
+            dtype=np.uint64,
+            count=n,
+        )
+        self._faulty_mask = np.fromiter(
+            (v in self._faulty for v in self._bound_nodes), dtype=bool, count=n
+        )
+
+    def byzantine_vertices(self) -> frozenset:
+        """The corrupting subset (requires bound nodes)."""
+        self._require_bound()
+        return self._faulty
+
+    def _flip_mask(self, sender: Hashable, receiver: Hashable, round_index: int) -> int:
+        bits = _mix64(
+            self._vertex_hash(sender) * _EDGE_U
+            + self._vertex_hash(receiver) * _EDGE_V
+            + _GOLDEN * round_index
+            + _FLIP_SALT
+        )
+        return (bits & 0x7FFFFFFF) | 1
+
+    def _corrupt_value(self, value: Any, mask: int) -> Any:
+        # ``type(x) is int`` deliberately excludes bool: flipping a bool
+        # into an int would change payload *shape*, not just its value.
+        if type(value) is int:
+            return value ^ mask
+        if type(value) is tuple:
+            items = tuple(self._corrupt_value(v, mask) for v in value)
+            if all(a is b for a, b in zip(items, value)):
+                return value
+            return items
+        if type(value) is list:
+            items = [self._corrupt_value(v, mask) for v in value]
+            if all(a is b for a, b in zip(items, value)):
+                return value
+            return items
+        return value
+
+    def corrupt_payload(
+        self, sender: Hashable, receiver: Hashable, round_index: int, payload: Any
+    ) -> Any:
+        self._require_bound()
+        if round_index < self.start_round or sender not in self._faulty:
+            return payload
+        return self._corrupt_value(
+            payload, self._flip_mask(sender, receiver, round_index)
+        )
+
+    def corrupt_values(
+        self,
+        senders: np.ndarray,
+        receivers: np.ndarray,
+        round_index: int,
+        values: np.ndarray,
+    ) -> np.ndarray:
+        self._require_bound()
+        if round_index < self.start_round:
+            return values
+        rows = self._faulty_mask[senders]
+        if not rows.any():
+            return values
+        vhash = self._vhash_by_id
+        # The identical integer formula as _flip_mask, in uint64 array
+        # arithmetic (wrapping multiplication == the scalar's mod-2**64).
+        bits = _mix64_array(
+            vhash[senders] * np.uint64(_EDGE_U)
+            + vhash[receivers] * np.uint64(_EDGE_V)
+            + np.uint64((_GOLDEN * round_index) & _MASK64)
+            + np.uint64(_FLIP_SALT)
+        )
+        masks = (bits & np.uint64(0x7FFFFFFF)) | np.uint64(1)
+        out = values.copy()
+        out[rows] ^= masks[rows].astype(np.int64)
+        return out
+
+    def spec_params(self) -> dict[str, Any]:
+        return {
+            "max_faulty": self.max_faulty,
+            "fraction": self.fraction,
+            "start_round": self.start_round,
+            "seed": self.seed,
+        }
+
+    def describe(self) -> str:
+        budget = (
+            f"fraction={self.fraction}"
+            if self.fraction is not None
+            else f"max_faulty={self.max_faulty}"
+        )
+        return (
+            f"ByzantineVertexScenario({budget}, "
+            f"start_round={self.start_round}, seed={self.seed})"
+        )

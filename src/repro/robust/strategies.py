@@ -1,0 +1,223 @@
+"""Replication and erasure-coding strategies for the robust compiler.
+
+A strategy answers three questions for :func:`repro.robust.compiler.compile_robust`:
+
+* how large is a replica group (``k``),
+* what does replica ``i`` of a sender put on the wire for one logical
+  payload (:meth:`RobustStrategy.shares`),
+* how does a receiving replica turn the copies/shares that arrived from one
+  sender group back into the logical payload (:meth:`RobustStrategy.decode`).
+
+Both built-in strategies tolerate ``f`` faulty replicas *per group* under
+crash-stop and Byzantine faults, with different bandwidth/latency trades:
+
+=================  =========  ==================  ============================
+strategy           group k    wire cost / copy    defence
+=================  =========  ==================  ============================
+replication        2f + 1     full payload        honest copies outvote lies
+erasure-coding     d + f      ~1/d of payload     checksums turn lies into
+                                                  erasures; any d shares decode
+=================  =========  ==================  ============================
+
+Replication needs a strict honest majority because a lying replica is only
+detected by disagreement; the coding strategy authenticates each share with
+a 32-bit blake2b checksum, so a corrupt share is *identified* (not just
+outvoted) and erased, which is why ``d + f`` replicas suffice — the
+classical gap between majority voting and coded redundancy.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Hashable
+
+from repro.robust.coding import (
+    CodecError,
+    decode_payload,
+    decode_shares,
+    encode_payload,
+    encode_shares,
+    share_checksum,
+)
+
+__all__ = [
+    "ErasureCodingStrategy",
+    "ReplicationStrategy",
+    "RobustStrategy",
+    "majority_vote",
+    "resolve_strategy",
+]
+
+
+def majority_vote(candidates: list[Any]) -> Any:
+    """The most frequent candidate, by canonical repr.
+
+    Ties break toward the lexicographically smallest repr so every replica
+    (and every backend) elects the same winner.  Canonical-repr counting
+    keeps unhashable payloads (lists) votable.
+    """
+    if not candidates:
+        raise ValueError("majority_vote needs at least one candidate")
+    tally: dict[str, list[Any]] = {}
+    for candidate in candidates:
+        tally.setdefault(repr(candidate), []).append(candidate)
+    winner = min(tally, key=lambda key: (-len(tally[key]), key))
+    return tally[winner][0]
+
+
+class RobustStrategy(ABC):
+    """How one logical payload is spread over a replica group."""
+
+    name: str
+    k: int
+
+    @abstractmethod
+    def shares(self, payload: Any, *, sender: Hashable, tag: str) -> list[Any]:
+        """The ``k`` wire payloads for one logical payload.
+
+        Replica ``i`` of the sending group transmits element ``i`` to every
+        replica of the receiving group.
+        """
+
+    @abstractmethod
+    def decode(
+        self, entries: list[tuple[int, Any]], *, sender: Hashable, tag: str
+    ) -> tuple[bool, Any]:
+        """Reassemble one logical payload from arrived ``(index, payload)``
+        pairs; returns ``(ok, payload)`` with ``ok=False`` when too few
+        intact pieces survived."""
+
+    @abstractmethod
+    def spec_params(self) -> dict[str, Any]:
+        """JSON-safe constructor parameters (content-addressing)."""
+
+    def describe(self) -> str:
+        params = ", ".join(f"{k}={v}" for k, v in self.spec_params().items())
+        return f"{type(self).__name__}({params})"
+
+
+class ReplicationStrategy(RobustStrategy):
+    """``k = 2f + 1`` full copies, majority vote at the receiver.
+
+    Round stretch is ~1: copies are byte-identical to the bare payload, so
+    fragmentation timing — and therefore the round count — matches the
+    clean run exactly.  The price is bandwidth: ``k^2`` full copies per
+    logical edge.
+    """
+
+    name = "replication"
+
+    def __init__(self, f: int = 1):
+        if f < 0:
+            raise ValueError(f"f must be >= 0; got {f}")
+        self.f = f
+        self.k = 2 * f + 1
+
+    def shares(self, payload: Any, *, sender: Hashable, tag: str) -> list[Any]:
+        return [payload] * self.k
+
+    def decode(
+        self, entries: list[tuple[int, Any]], *, sender: Hashable, tag: str
+    ) -> tuple[bool, Any]:
+        if not entries:
+            return False, None
+        return True, majority_vote([payload for _, payload in entries])
+
+    def spec_params(self) -> dict[str, Any]:
+        return {"f": self.f}
+
+
+class ErasureCodingStrategy(RobustStrategy):
+    """``k = d + f`` checksummed code shares, any ``d`` of which decode.
+
+    The logical payload is serialised to 16-bit symbols, split into ``d``
+    data chunks and extended with ``f`` Cauchy parity chunks
+    (:mod:`repro.robust.coding`); replica ``i`` ships share ``i`` as
+    ``(checksum, *chunk)``.  A receiver verifies each share's blake2b
+    checksum — a Byzantine XOR-flip is detected, not merely outvoted — and
+    reconstructs from any ``d`` survivors.  Shares are ~``1/d`` of the
+    payload plus two words of overhead (framing + checksum), so small
+    payloads stretch rounds by a small constant while large payloads ship
+    *cheaper* per replica than full copies.
+    """
+
+    name = "erasure-coding"
+
+    def __init__(self, d: int = 2, f: int = 1):
+        if d < 1:
+            raise ValueError(f"d must be >= 1; got {d}")
+        if f < 0:
+            raise ValueError(f"f must be >= 0; got {f}")
+        self.d = d
+        self.f = f
+        self.k = d + f
+
+    def shares(self, payload: Any, *, sender: Hashable, tag: str) -> list[Any]:
+        chunks = encode_shares(encode_payload(payload), self.d, self.f)
+        return [
+            (share_checksum(sender, tag, index, chunk), *chunk)
+            for index, chunk in enumerate(chunks)
+        ]
+
+    def decode(
+        self, entries: list[tuple[int, Any]], *, sender: Hashable, tag: str
+    ) -> tuple[bool, Any]:
+        valid: dict[int, list[int]] = {}
+        width: int | None = None
+        for index, payload in entries:
+            if index in valid or not 0 <= index < self.k:
+                continue
+            if (
+                type(payload) is not tuple
+                or len(payload) < 2
+                or any(type(symbol) is not int for symbol in payload)
+            ):
+                continue
+            checksum, chunk = payload[0], list(payload[1:])
+            if any(not 0 <= symbol < (1 << 16) for symbol in chunk):
+                continue
+            if checksum != share_checksum(sender, tag, index, chunk):
+                continue
+            if width is None:
+                width = len(chunk)
+            elif len(chunk) != width:
+                continue
+            valid[index] = chunk
+        if len(valid) < self.d:
+            return False, None
+        symbols = decode_shares(valid, self.d, self.f)
+        if symbols is None:
+            return False, None
+        try:
+            return True, decode_payload(symbols)
+        except CodecError:
+            return False, None
+
+    def spec_params(self) -> dict[str, Any]:
+        return {"d": self.d, "f": self.f}
+
+
+_STRATEGIES = {
+    ReplicationStrategy.name: ReplicationStrategy,
+    ErasureCodingStrategy.name: ErasureCodingStrategy,
+}
+
+
+def resolve_strategy(
+    strategy: RobustStrategy | str, **params: Any
+) -> RobustStrategy:
+    """Accept a strategy instance or a registered name (+ params)."""
+    if isinstance(strategy, RobustStrategy):
+        if params:
+            raise ValueError(
+                "params only apply when resolving a strategy by name"
+            )
+        return strategy
+    try:
+        cls = _STRATEGIES[strategy]
+    except KeyError:
+        raise ValueError(
+            f"unknown robust strategy {strategy!r}; "
+            f"known: {sorted(_STRATEGIES)}"
+        ) from None
+    return cls(**params)

@@ -1,0 +1,67 @@
+"""The ``robust-compiled`` driver workload.
+
+Registers the fault-tolerant compiler as an experiment *driver* workload,
+so a scenario grid can sweep compiled-vs-bare executions by name — exactly
+how the E19 benchmark asserts that compiled runs reproduce the clean output
+digest under crash-stop and Byzantine vertex faults while bare runs
+diverge.  The registration rides the workload registry's lazy-module hook
+(:mod:`repro.experiments.spec` lists this module), so merely naming
+``robust-compiled`` in a spec pulls the robust subsystem in.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import networkx as nx
+
+from repro.congest.network import SynchronousRun
+from repro.experiments.spec import register_workload, workload_registry
+from repro.robust.compiler import compile_robust
+
+__all__ = ["robust_compiled_workload"]
+
+
+@register_workload("robust-compiled", kind="driver")
+def robust_compiled_workload(
+    inner: str = "flood-min",
+    strategy: str = "replication",
+    inner_params: dict[str, Any] | None = None,
+    **strategy_params: Any,
+):
+    """Run a named vertex workload through :func:`compile_robust`.
+
+    ``inner`` names a registered *vertex* workload (``flood-min``,
+    ``bfs-tree``, ...); ``strategy`` and ``strategy_params`` pick the
+    redundancy scheme (``replication`` / ``erasure-coding`` with ``f``,
+    ``d``).  The cell's scenario — typically ``crash-vertices`` or
+    ``byzantine-vertices`` — applies to the *replicated* execution; the
+    returned rounds are the physical rounds, the outputs the decoded
+    logical outputs, and ``round_stretch`` lands on the run for the
+    result table.
+    """
+    params = dict(inner_params or {})
+
+    def run(
+        graph: nx.Graph,
+        *,
+        backend,
+        scenario,
+        max_rounds: int,
+        session=None,
+    ) -> SynchronousRun:
+        builder = workload_registry.get(inner)
+        if getattr(builder, "kind", "vertex") != "vertex":
+            raise ValueError(
+                f"robust-compiled wraps vertex workloads only; "
+                f"{inner!r} is a {builder.kind} workload"
+            )
+        compiled = compile_robust(builder(**params), strategy=strategy, **strategy_params)
+        return compiled.run(
+            graph,
+            backend=backend,
+            scenario=scenario,
+            max_rounds=max_rounds,
+        )
+
+    return run

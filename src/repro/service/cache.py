@@ -17,15 +17,33 @@ pool's dispatcher thread both touch it, and ``max_entries`` bounds memory
 on long-lived servers (the default is unbounded — a
 :class:`~repro.experiments.RunResult` without pinned outputs is a few
 hundred bytes).
+
+With a ``cache_dir`` the cache also persists: every insert is written
+through to a digest-named pickle (atomic tmp + rename, so a crashed server
+never leaves a torn file), and a memory miss falls back to the directory
+before reporting a miss — a restarted server re-warms lazily, paying one
+disk read per first touch instead of loading everything up front.  The
+same directory doubles as the spill store for *large pinned outputs*:
+results whose ``outputs`` pickle beyond ``spill_bytes`` keep only an
+outputs-free stub in the memory LRU, and the full result is re-read from
+disk on demand — a thousand-cell server does not hold a thousand listing
+outputs in RAM because one client asked to keep them.
 """
 
 from __future__ import annotations
 
+import os
+import pickle
 import threading
 from collections import OrderedDict
+from dataclasses import replace
+from pathlib import Path
 from typing import Any
 
 from repro.experiments.session import RunResult
+
+#: Default spill threshold: outputs pickling beyond 64 KiB live on disk.
+DEFAULT_SPILL_BYTES = 64 * 1024
 
 
 class CellCache:
@@ -33,40 +51,142 @@ class CellCache:
 
     Args:
         max_entries: evict least-recently-used entries beyond this count
-            (``None`` = unbounded).
+            (``None`` = unbounded).  Eviction only drops the memory entry;
+            a persisted copy stays on disk and re-warms on next touch.
+        cache_dir: directory for the persistent write-through store
+            (``None`` = memory only).  Created on first use.
+        spill_bytes: results whose pinned ``outputs`` pickle larger than
+            this hold only an outputs-free stub in memory (full result on
+            disk).  Requires ``cache_dir``; ``None`` disables spilling.
     """
 
-    def __init__(self, max_entries: int | None = None):
+    def __init__(
+        self,
+        max_entries: int | None = None,
+        cache_dir: str | Path | None = None,
+        spill_bytes: int | None = DEFAULT_SPILL_BYTES,
+    ):
         if max_entries is not None and max_entries < 1:
             raise ValueError(f"max_entries must be >= 1; got {max_entries}")
+        if spill_bytes is not None and spill_bytes < 0:
+            raise ValueError(f"spill_bytes must be >= 0; got {spill_bytes}")
         self.max_entries = max_entries
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.spill_bytes = spill_bytes
         self._entries: OrderedDict[str, RunResult] = OrderedDict()
+        self._spilled: set[str] = set()
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.dedup_hits = 0
+        self.disk_hits = 0
+        self.spills = 0
+
+    # -- the on-disk store ---------------------------------------------------
+
+    def _disk_path(self, digest: str) -> Path | None:
+        """The entry's file, or ``None`` when persistence is off or the
+        digest is not a safe filename (cell digests are short hex)."""
+        if self.cache_dir is None:
+            return None
+        if not digest or not all(c.isalnum() or c in "-_" for c in digest):
+            return None
+        return self.cache_dir / f"{digest}.pkl"
+
+    def _disk_load(self, digest: str) -> RunResult | None:
+        path = self._disk_path(digest)
+        if path is None:
+            return None
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            return None
+        try:
+            entry = pickle.loads(blob)
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except Exception:
+            # A torn or foreign file is a miss, never a crash; the next
+            # put() overwrites it atomically.
+            return None
+        return entry if isinstance(entry, RunResult) else None
+
+    def _disk_store(self, digest: str, result: RunResult) -> bool:
+        path = self._disk_path(digest)
+        if path is None:
+            return False
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_name(
+                f"{path.name}.tmp-{os.getpid()}-{threading.get_ident()}"
+            )
+            tmp.write_bytes(pickle.dumps(result, protocol=4))
+            os.replace(tmp, path)
+            return True
+        except (OSError, pickle.PickleError):
+            # Unpicklable outputs or a read-only directory degrade to a
+            # memory-only entry rather than failing the submission.
+            return False
+
+    # -- the public surface --------------------------------------------------
 
     def get(self, digest: str) -> RunResult | None:
-        """The cached result for ``digest``, or ``None`` (counts a miss)."""
+        """The cached result for ``digest``, or ``None`` (counts a miss).
+
+        Spilled entries and post-restart disk entries are read back from
+        ``cache_dir`` transparently (counted in ``disk_hits``).
+        """
         with self._lock:
             entry = self._entries.get(digest)
-            if entry is None:
-                self.misses += 1
-                return None
-            self._entries.move_to_end(digest)
-            self.hits += 1
-            return entry
+            if entry is not None:
+                self._entries.move_to_end(digest)
+                self.hits += 1
+                if digest in self._spilled:
+                    full = self._disk_load(digest)
+                    if full is not None:
+                        self.disk_hits += 1
+                        return full
+                return entry
+            full = self._disk_load(digest)
+            if full is not None:
+                self.hits += 1
+                self.disk_hits += 1
+                self._insert(digest, full, persisted=True)
+                return full
+            self.misses += 1
+            return None
 
     def put(self, digest: str, result: RunResult) -> None:
-        """Store ``result`` under ``digest`` (refreshes LRU position)."""
+        """Store ``result`` under ``digest`` (refreshes LRU position).
+
+        With a ``cache_dir`` the full result is written through to disk;
+        large pinned outputs are then spilled — the memory LRU keeps an
+        outputs-free stub.
+        """
         with self._lock:
-            self._entries[digest] = result
-            self._entries.move_to_end(digest)
-            if self.max_entries is not None:
-                while len(self._entries) > self.max_entries:
-                    self._entries.popitem(last=False)
-                    self.evictions += 1
+            persisted = self._disk_store(digest, result)
+            self._insert(digest, result, persisted=persisted)
+
+    def _insert(self, digest: str, result: RunResult, *, persisted: bool) -> None:
+        entry = result
+        self._spilled.discard(digest)
+        if (
+            persisted
+            and self.spill_bytes is not None
+            and result.outputs is not None
+            and len(pickle.dumps(result.outputs, protocol=4)) > self.spill_bytes
+        ):
+            entry = replace(result, outputs=None)
+            self._spilled.add(digest)
+            self.spills += 1
+        self._entries[digest] = entry
+        self._entries.move_to_end(digest)
+        if self.max_entries is not None:
+            while len(self._entries) > self.max_entries:
+                evicted, _ = self._entries.popitem(last=False)
+                self._spilled.discard(evicted)
+                self.evictions += 1
 
     def count_dedup(self) -> None:
         """Record one within-submission dedup: a duplicate digest whose
@@ -80,11 +200,16 @@ class CellCache:
 
     def __contains__(self, digest: str) -> bool:
         with self._lock:
-            return digest in self._entries
+            if digest in self._entries:
+                return True
+            path = self._disk_path(digest)
+            return path is not None and path.is_file()
 
     def clear(self) -> None:
+        """Drop the memory LRU (the persistent store is left intact)."""
         with self._lock:
             self._entries.clear()
+            self._spilled.clear()
 
     def stats(self) -> dict[str, Any]:
         """Hit/miss/eviction counters plus the current entry count."""
@@ -96,4 +221,9 @@ class CellCache:
                 "misses": self.misses,
                 "evictions": self.evictions,
                 "dedup_hits": self.dedup_hits,
+                "disk_hits": self.disk_hits,
+                "spills": self.spills,
+                "cache_dir": (
+                    str(self.cache_dir) if self.cache_dir is not None else None
+                ),
             }

@@ -38,7 +38,8 @@ def rules_hit(source, relpath=ENGINE_PATH):
 class TestRegistry:
     def test_all_shipped_rules_registered(self):
         assert {
-            "REP001", "REP002", "REP003", "REP004", "REP005", "REP006"
+            "REP001", "REP002", "REP003", "REP004", "REP005", "REP006",
+            "REP007",
         } <= set(RULES)
 
     def test_rules_have_severity_and_description(self):
@@ -554,6 +555,88 @@ class TestCli:
         )
         assert code == 0
         capsys.readouterr()
+
+
+class TestRep007DigestFieldDrift:
+    """A RunResult field must be digested (a to_row() key) or excluded."""
+
+    SESSION_PATH = "src/repro/experiments/_fixture.py"
+
+    GOOD = """
+    _ROW_EXCLUDED = frozenset({"outputs"})
+
+    class RunResult:
+        rounds: int
+        outputs: dict | None = None
+
+        def to_row(self):
+            return {"rounds": self.rounds}
+    """
+
+    def rep007(self, source):
+        return findings_for(source, rule="REP007", relpath=self.SESSION_PATH)
+
+    def test_clean_split_between_row_and_exclusions(self):
+        assert self.rep007(self.GOOD) == []
+
+    def test_field_missing_from_both_is_drift(self):
+        # The real customer: round_stretch added to the dataclass but
+        # forgotten in to_row() would silently drift out of every digest.
+        bad = self.GOOD.replace(
+            "outputs: dict | None = None",
+            "outputs: dict | None = None\n        round_stretch: float | None = None",
+        )
+        found = self.rep007(bad)
+        assert len(found) == 1 and "round_stretch" in found[0].message
+
+    def test_field_cannot_be_both_digested_and_excluded(self):
+        bad = self.GOOD.replace('{"outputs"}', '{"outputs", "rounds"}')
+        found = self.rep007(bad)
+        assert len(found) == 1 and "never both" in found[0].message
+
+    def test_stale_exclusion_is_reported(self):
+        bad = self.GOOD.replace('{"outputs"}', '{"outputs", "ghost"}')
+        found = self.rep007(bad)
+        assert len(found) == 1 and "ghost" in found[0].message
+
+    def test_missing_to_row_is_reported(self):
+        bad = """
+        class RunResult:
+            rounds: int
+        """
+        found = self.rep007(bad)
+        assert len(found) == 1 and "to_row" in found[0].message
+
+    def test_digest_deleting_a_nonexistent_row_key_is_reported(self):
+        bad = self.GOOD + """
+    class ResultSet:
+        def digest(self):
+            row = {}
+            del row["seconds"]
+            return row
+    """
+        found = self.rep007(bad)
+        assert len(found) == 1 and "seconds" in found[0].message
+
+    def test_digest_deleting_a_real_row_key_is_fine(self):
+        good = self.GOOD + """
+    class ResultSet:
+        def digest(self):
+            row = {}
+            del row["rounds"]
+            return row
+    """
+        assert self.rep007(good) == []
+
+    def test_modules_without_run_result_are_ignored(self):
+        assert self.rep007("x = 1") == []
+
+    def test_private_fields_are_ignored(self):
+        good = self.GOOD.replace(
+            "outputs: dict | None = None",
+            "outputs: dict | None = None\n        _scratch: int = 0",
+        )
+        assert self.rep007(good) == []
 
 
 class TestRepoIsClean:

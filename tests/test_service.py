@@ -139,6 +139,102 @@ class TestCellCache:
     def test_invalid_bound_rejected(self):
         with pytest.raises(ValueError, match="max_entries"):
             CellCache(max_entries=0)
+        with pytest.raises(ValueError, match="spill_bytes"):
+            CellCache(spill_bytes=-1)
+
+
+class TestCellCachePersistence:
+    """The digest-keyed on-disk store: restart survival + outputs spill."""
+
+    def test_entries_survive_a_restart(self, tmp_path):
+        first = CellCache(cache_dir=tmp_path)
+        first.put("aa11", _row(seed=4))
+        assert (tmp_path / "aa11.pkl").is_file()
+        # A fresh cache over the same directory — the restarted server —
+        # re-warms lazily on first touch.
+        second = CellCache(cache_dir=tmp_path)
+        restored = second.get("aa11")
+        assert restored is not None and restored.seed == 4
+        stats = second.stats()
+        assert stats["hits"] == 1 and stats["disk_hits"] == 1
+        assert stats["cache_dir"] == str(tmp_path)
+        # Now resident: the next get is a pure memory hit.
+        second.get("aa11")
+        assert second.stats()["disk_hits"] == 1
+
+    def test_contains_consults_the_disk_store(self, tmp_path):
+        CellCache(cache_dir=tmp_path).put("bb22", _row())
+        restarted = CellCache(cache_dir=tmp_path)
+        assert "bb22" in restarted
+        assert "cc33" not in restarted
+
+    def test_eviction_only_drops_the_memory_entry(self, tmp_path):
+        cache = CellCache(max_entries=1, cache_dir=tmp_path)
+        cache.put("k1", _row(seed=1))
+        cache.put("k2", _row(seed=2))  # evicts k1 from memory
+        assert cache.stats()["evictions"] == 1
+        rewarmed = cache.get("k1")
+        assert rewarmed is not None and rewarmed.seed == 1
+        assert cache.stats()["disk_hits"] == 1
+
+    def test_large_outputs_spill_to_disk(self, tmp_path):
+        big = {v: tuple(range(200)) for v in range(200)}
+        cache = CellCache(cache_dir=tmp_path, spill_bytes=1024)
+        cache.put("dd44", _row(outputs=big))
+        assert cache.stats()["spills"] == 1
+        # The memory LRU holds an outputs-free stub...
+        assert cache._entries["dd44"].outputs is None
+        # ...but a get transparently reads the full result back.
+        assert cache.get("dd44").outputs == big
+        assert cache.stats()["disk_hits"] == 1
+
+    def test_small_outputs_stay_resident(self, tmp_path):
+        cache = CellCache(cache_dir=tmp_path, spill_bytes=1 << 20)
+        cache.put("ee55", _row(outputs={0: 1}))
+        assert cache.stats()["spills"] == 0
+        assert cache.get("ee55").outputs == {0: 1}
+        assert cache.stats()["disk_hits"] == 0
+
+    def test_no_spill_without_cache_dir(self):
+        big = {v: tuple(range(200)) for v in range(200)}
+        cache = CellCache(spill_bytes=16)
+        cache.put("ff66", _row(outputs=big))
+        assert cache.stats()["spills"] == 0
+        assert cache.get("ff66").outputs == big
+
+    def test_torn_disk_file_degrades_to_a_miss(self, tmp_path):
+        (tmp_path / "ab12.pkl").write_bytes(b"\x80 not a pickle")
+        cache = CellCache(cache_dir=tmp_path)
+        assert cache.get("ab12") is None
+        assert cache.stats()["misses"] == 1
+        # The next put overwrites the torn file atomically.
+        cache.put("ab12", _row(seed=9))
+        assert CellCache(cache_dir=tmp_path).get("ab12").seed == 9
+
+    def test_unsafe_digests_never_touch_the_filesystem(self, tmp_path):
+        cache = CellCache(cache_dir=tmp_path)
+        cache.put("../escape", _row())
+        assert list(tmp_path.iterdir()) == []
+        # Still served from memory.
+        assert cache.get("../escape") is not None
+
+    def test_clear_leaves_the_persistent_store_intact(self, tmp_path):
+        cache = CellCache(cache_dir=tmp_path)
+        cache.put("cd34", _row(seed=6))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.get("cd34").seed == 6  # re-warmed from disk
+
+    def test_warm_session_grid_replays_across_restart(self, tmp_path):
+        spec = make_spec()
+        cold = Session(
+            name="cold", cache=CellCache(cache_dir=tmp_path)
+        ).grid(spec, scenarios=[None])
+        restarted = CellCache(cache_dir=tmp_path)
+        warm = Session(name="warm", cache=restarted).grid(spec, scenarios=[None])
+        assert warm.digest() == cold.digest()
+        assert restarted.stats()["disk_hits"] == len(cold)
+        assert restarted.stats()["misses"] == 0
 
 
 class TestSessionCache:
