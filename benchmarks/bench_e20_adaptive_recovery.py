@@ -1,0 +1,445 @@
+"""E20 — Adaptive recovery: self-healing compiled runs vs adaptive crashes.
+
+E19 pinned the robust compiler's *static* guarantee: strategies sized for
+``f`` faults recover the clean output digest under oblivious fault
+scenarios.  This experiment escalates the adversary on the same listing
+workload graph: an **adaptive** crash adversary (``adaptive-crash``) that
+re-reads the previous round's traffic at every decision point and spends
+its budget on the hottest vertices — which, on a replicated execution,
+walks straight through the replica group of the busiest logical vertex.
+The grid is
+
+    {bare, static-compiled, heal-compiled} x {clean, budget 1..B}
+
+with both strategies deliberately sized at ``f = 1`` so escalation crosses
+their static budget, asserting, per the acceptance criteria:
+
+* **bare runs break at every budget**: even one adaptive crash diverges
+  the gossip output digest;
+* **static compilation breaks past its budget**: ``f = 1`` replication
+  recovers at budget 1 but loses the digest at budget 2 (two crashes
+  walked into one ``k = 3`` group beat the majority vote); ``f = 1``
+  erasure coding holds to budget 2 and breaks at 3;
+* **heal recovers where static broke**: the same strategies with
+  ``heal=True`` re-seat crashed replicas onto survivors inside the
+  detection window and reproduce the clean digest at *every* budget in
+  the grid, with ``reseats >= 1`` at the strategy's breaking budget;
+* **stretch stays bounded**: every compiled cell reports
+  ``round_stretch <= 4`` — healing pays re-seating rounds, not a new
+  asymptotic.
+
+The inner workload is ``gossip-max`` (periodic max-label gossip with a
+fixed horizon), not E19's BFS tree: seat-health detection convicts a
+replica of silence only while its group's survivors are still talking, so
+the self-healing runtime needs an inner algorithm with an unconditional
+send schedule.  The budget grid per strategy stays within ``k - 1``
+cumulative crashes of any one replica group — a group that loses every
+seat is unrecoverable by design (the paper's bound, not a bug) — which is
+why replication (whose traffic profile draws all three crashes into one
+group) stops at budget 2 while erasure coding's third crash lands
+elsewhere and is healed.
+
+Run standalone (writes BENCH_e20.json at the repo root by default)::
+
+    PYTHONPATH=src python benchmarks/bench_e20_adaptive_recovery.py
+    PYTHONPATH=src python benchmarks/bench_e20_adaptive_recovery.py --smoke
+
+``--smoke`` runs the 200-vertex configuration only (the CI tier-2 job);
+``--trace-dir DIR`` additionally runs one fully traced ``heal=True`` cell
+at the breaking budget and writes its JSONL event stream — including the
+``vertex_crashed`` *and* ``replica_reseated`` events — plus the
+Chrome/Perfetto timeline into ``DIR``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from bench_e19_robust_compiler import listing_workload_giant_component
+from repro.experiments import ExperimentSpec, ResultSet, RunResult, Session
+from repro.obs import JsonlTracer, read_jsonl_events, write_chrome_trace
+from repro.robust import compile_robust
+
+# The inner workload schedule: re-broadcast the best-known label every
+# PERIOD rounds, halt at the fixed HORIZON.  Constant non-saturating
+# traffic — the shape self-healing detection needs.
+HORIZON = 120
+PERIOD = 4
+
+# The adaptive adversary: hottest-vertex placement, one decision every 20
+# physical rounds starting at round 2, budget swept below.
+ADAPTIVE = {"policy": "hottest", "first_round": 2, "period": 20}
+BUDGETS = (1, 2, 3)
+
+# Both strategies sized at f = 1 (k = 3 physical replicas per vertex) so
+# the escalating budget crosses the static guarantee.  The third column is
+# the *breaking budget* — the smallest budget where the static compilation
+# demonstrably loses the digest — which is also each strategy's top healed
+# budget: past it, the hottest-walking adversary would put k = 3 crashes
+# into one replica group (unrecoverable by design).  Erasure coding's
+# replicas draw a different traffic profile, so its third crash lands
+# outside the walked group and budget 3 stays healable.
+STRATEGIES = [
+    ("replication", {"f": 1}, 2),
+    ("erasure-coding", {"d": 2, "f": 1}, 3),
+]
+
+HEAL_WINDOW = 3
+STRETCH_BOUND = 4.0
+
+
+def adaptive_scenario(budget: int, seed: int):
+    return ("adaptive-crash", {"max_faulty": budget, "seed": seed, **ADAPTIVE})
+
+
+def bare_spec(n: int, seed: int, max_rounds: int = 10_000) -> ExperimentSpec:
+    return ExperimentSpec(
+        name="e20-bare",
+        graph="listing-workload-cc",
+        graph_params={"n": n},
+        workload="gossip-max",
+        workload_params={"horizon": HORIZON, "period": PERIOD},
+        backend="vectorized",
+        seeds=(seed,),
+        max_rounds=max_rounds,
+    )
+
+
+def compiled_spec(
+    n: int,
+    seed: int,
+    strategy: str,
+    params: dict,
+    heal: bool,
+    max_rounds: int = 10_000,
+) -> ExperimentSpec:
+    mode = "heal" if heal else "static"
+    return ExperimentSpec(
+        name=f"e20-{strategy}-{mode}",
+        graph="listing-workload-cc",
+        graph_params={"n": n},
+        workload="robust-compiled",
+        workload_params={
+            "inner": "gossip-max",
+            "inner_params": {"horizon": HORIZON, "period": PERIOD},
+            "strategy": strategy,
+            "heal": heal,
+            **({"heal_window": HEAL_WINDOW} if heal else {}),
+            **params,
+        },
+        backend="vectorized",
+        seeds=(seed,),
+        max_rounds=max_rounds,
+    )
+
+
+def _by_budget(results) -> dict:
+    """Grid cells keyed ``"clean"`` / budget int, via the scenario axis.
+
+    All adaptive cells share the registry name ``adaptive-crash``, so the
+    scenario axis position (``cell_index``) is the reliable key: position
+    0 is the clean cell, position ``i`` the ``i``-th budget.
+    """
+    cells: dict = {}
+    for result in results:
+        if result.cell_index == 0:
+            cells["clean"] = result
+        else:
+            cells[BUDGETS[result.cell_index - 1]] = result
+    return cells
+
+
+def run_experiment(n: int, seed: int = 7) -> dict:
+    """Execute the protocol x budget grid; assert recovery; report JSON."""
+    session = Session(name="e20-adaptive-recovery")
+
+    scenarios = ["clean", *(adaptive_scenario(b, seed) for b in BUDGETS)]
+    bare = _by_budget(session.grid(bare_spec(n, seed), scenarios=scenarios))
+    clean_digest = bare["clean"].output_digest
+
+    # Acceptance 1: the bare protocol breaks at every adaptive budget.
+    bare_broken = {}
+    for budget in BUDGETS:
+        cell = bare[budget]
+        diverged = cell.output_digest != clean_digest or not cell.halted
+        assert diverged, (
+            f"bare run at adaptive budget {budget} matched the clean "
+            f"digest — the adaptive fault injection is not biting"
+        )
+        bare_broken[f"budget-{budget}"] = {
+            "digest_diverged": cell.output_digest != clean_digest,
+            "halted": cell.halted,
+        }
+
+    summary = {
+        "bare": {
+            _label(key): _row(cell, clean_digest)
+            for key, cell in _ordered(bare)
+        }
+    }
+    static_breaks = {}
+    heal_reseats = {}
+    for strategy, params, breaking_budget in STRATEGIES:
+        budgets = [b for b in BUDGETS if b <= breaking_budget]
+        scenarios = ["clean", *(adaptive_scenario(b, seed) for b in budgets)]
+
+        # Acceptance 2: static compilation holds to f, breaks at the
+        # breaking budget.
+        static = _by_budget(
+            session.grid(
+                compiled_spec(n, seed, strategy, params, heal=False),
+                scenarios=scenarios,
+            )
+        )
+        for key in ("clean", *range(1, params["f"] + 1)):
+            assert static[key].output_digest == clean_digest, (
+                f"static[{strategy}] lost the clean digest at "
+                f"{key!r} <= f={params['f']}"
+            )
+        broke = static[breaking_budget].output_digest != clean_digest
+        assert broke, (
+            f"static[{strategy}] survived budget {breaking_budget} — the "
+            f"adaptive escalation is not crossing the static guarantee"
+        )
+        static_breaks[strategy] = breaking_budget
+
+        # Acceptance 3 + 4: heal recovers at every budget, with at least
+        # one re-seat at the budget that broke static, within the stretch
+        # bound.
+        healed = _by_budget(
+            session.grid(
+                compiled_spec(n, seed, strategy, params, heal=True),
+                scenarios=scenarios,
+            )
+        )
+        for key, cell in _ordered(healed):
+            assert cell.output_digest == clean_digest, (
+                f"heal[{strategy}] lost the clean digest at {key!r}: "
+                f"{cell.output_digest} != {clean_digest}"
+            )
+            assert cell.halted, f"heal[{strategy}] at {key!r} did not halt"
+            assert cell.round_stretch is not None
+            assert cell.round_stretch <= STRETCH_BOUND, (
+                f"heal[{strategy}] at {key!r} stretched "
+                f"{cell.round_stretch:.2f}x > {STRETCH_BOUND}x"
+            )
+        assert healed["clean"].reseats == 0, (
+            f"heal[{strategy}] re-seated on a clean run"
+        )
+        assert healed[breaking_budget].reseats >= 1, (
+            f"heal[{strategy}] recovered budget {breaking_budget} without "
+            f"re-seating — the static break should force the heal path"
+        )
+        heal_reseats[strategy] = {
+            _label(key): cell.reseats for key, cell in _ordered(healed)
+        }
+
+        summary[f"{strategy}-static"] = {
+            _label(key): _row(cell, clean_digest)
+            for key, cell in _ordered(static)
+        }
+        summary[f"{strategy}-heal"] = {
+            _label(key): _row(cell, clean_digest)
+            for key, cell in _ordered(healed)
+        }
+
+    report = ResultSet(
+        experiment="e20-adaptive-recovery",
+        workload="gossip-max (bare + robust-compiled, static vs heal)",
+        results=list(session.history),
+    ).to_json()
+    report["experiment"] = (
+        "E20 adaptive recovery (self-healing compiled runs vs adaptive "
+        "crash budgets)"
+    )
+    report["workload"] = (
+        "periodic max-gossip on the listing-workload giant component; bare "
+        "vs compile_robust(replication | erasure-coding, f=1) with and "
+        "without heal=True under an escalating hottest-vertex adaptive "
+        "crash adversary; clean-digest recovery, re-seat counts, and "
+        "stretch asserted"
+    )
+    report["n"] = n
+    report["logical_vertices"] = bare["clean"].n
+    report["seed"] = seed
+    report["budgets"] = list(BUDGETS)
+    report["adaptive"] = ADAPTIVE
+    report["heal_window"] = HEAL_WINDOW
+    report["clean_digest"] = clean_digest
+    report["bare_broken"] = bare_broken
+    report["static_breaking_budget"] = static_breaks
+    report["reseats"] = heal_reseats
+    report["summary"] = summary
+    report["stretch_bound"] = STRETCH_BOUND
+    report["specs"] = {
+        "bare": bare_spec(n, seed).to_json(),
+        **{
+            f"{strategy}-{mode}": compiled_spec(
+                n, seed, strategy, params, heal=(mode == "heal")
+            ).to_json()
+            for strategy, params, _ in STRATEGIES
+            for mode in ("static", "heal")
+        },
+    }
+    return report
+
+
+def _ordered(cells: dict):
+    yield "clean", cells["clean"]
+    for budget in BUDGETS:
+        if budget in cells:
+            yield budget, cells[budget]
+
+
+def _label(key) -> str:
+    return key if key == "clean" else f"budget-{key}"
+
+
+def _row(cell: RunResult, clean_digest: str) -> dict:
+    return {
+        "rounds": cell.rounds,
+        "words": cell.words,
+        "round_stretch": (
+            None if cell.round_stretch is None
+            else round(cell.round_stretch, 4)
+        ),
+        "reseats": cell.reseats,
+        "recovers_clean_digest": cell.output_digest == clean_digest,
+    }
+
+
+def render(report: dict) -> str:
+    lines = [
+        f"E20: adaptive recovery on the listing graph "
+        f"(n={report['n']}, giant cc={report['logical_vertices']}, "
+        f"budgets={report['budgets']}, policy={report['adaptive']['policy']})",
+        f"{'protocol':<24s} {'scenario':<10s} {'rounds':>7s} {'words':>9s} "
+        f"{'stretch':>8s} {'reseats':>8s} {'recovers':>9s}",
+    ]
+    for protocol, per_budget in report["summary"].items():
+        for scenario, cell in per_budget.items():
+            stretch = (
+                f"{cell['round_stretch']:.2f}x"
+                if cell["round_stretch"] is not None
+                else "-"
+            )
+            reseats = "-" if cell["reseats"] is None else str(cell["reseats"])
+            recovers = "yes" if cell["recovers_clean_digest"] else "NO"
+            lines.append(
+                f"{protocol:<24s} {scenario:<10s} "
+                f"{cell['rounds']:>7d} {cell['words']:>9d} {stretch:>8s} "
+                f"{reseats:>8s} {recovers:>9s}"
+            )
+    lines.append("")
+    lines.append(
+        "acceptance: bare breaks at every budget; static f=1 compilation "
+        f"breaks at its breaking budget {report['static_breaking_budget']}; "
+        f"heal=True recovers the clean digest at every budget (reseats >= 1 "
+        f"at the break) within {report['stretch_bound']}x stretch"
+    )
+    return "\n".join(lines)
+
+
+def export_traces(n: int, seed: int, trace_dir: Path) -> list[Path]:
+    """One fully traced heal cell at the breaking budget: the artifact pair.
+
+    The JSONL stream carries the ``vertex_crashed`` events of the adaptive
+    adversary *and* the ``replica_reseated`` events of the self-healing
+    runtime, so the timeline shows the attack and the repair side by side.
+    The CI smoke job asserts both kinds are present before uploading.
+    """
+    from repro.engine.registry import scenario_registry
+    from repro.experiments.spec import workload_registry
+
+    trace_dir.mkdir(parents=True, exist_ok=True)
+    graph = listing_workload_giant_component(n)
+    strategy, params, breaking_budget = STRATEGIES[1]  # erasure, budget 3
+    name, scenario_params = adaptive_scenario(breaking_budget, seed)
+    scenario = scenario_registry.get(name)(**scenario_params)
+    compiled = compile_robust(
+        workload_registry.get("gossip-max")(horizon=HORIZON, period=PERIOD),
+        strategy=strategy,
+        heal=True,
+        heal_window=HEAL_WINDOW,
+        **params,
+    )
+    clean = compiled.run(graph, backend="vectorized")
+    jsonl_path = trace_dir / "e20_heal_adaptive.jsonl"
+    with JsonlTracer(jsonl_path) as tracer:
+        run = compiled.run(
+            graph,
+            backend="vectorized",
+            scenario=scenario,
+            tracer=tracer,
+            baseline_rounds=clean.rounds,
+        )
+    assert run.outputs == clean.outputs, "traced heal run lost recovery"
+    assert run.reseats >= 1, "traced heal run performed no re-seats"
+    events = read_jsonl_events(jsonl_path)
+    for kind in ("vertex_crashed", "replica_reseated"):
+        assert any(event["kind"] == kind for event in events), (
+            f"trace artifact is missing the {kind} events"
+        )
+    chrome_path = write_chrome_trace(
+        events, trace_dir / "e20_heal_adaptive_chrome.json"
+    )
+    return [jsonl_path, chrome_path]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=1000)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        help=(
+            "where to write the JSON report ('-' to skip; default: the "
+            "committed BENCH_e20.json, skipped under --smoke)"
+        ),
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="200-vertex configuration only (the CI tier-2 job)",
+    )
+    parser.add_argument(
+        "--trace-dir",
+        type=Path,
+        default=None,
+        help="also run one fully traced heal cell at the breaking budget "
+        "and write its JSONL events + Chrome timeline into this directory",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        args.n = 200
+    report = run_experiment(args.n, seed=args.seed)
+    print(render(report))
+    if args.trace_dir is not None:
+        for path in export_traces(args.n, args.seed, args.trace_dir):
+            print(f"wrote {path}")
+    json_path = args.json
+    if json_path is None and not args.smoke:
+        json_path = Path(__file__).resolve().parent.parent / "BENCH_e20.json"
+    if json_path is not None and str(json_path) != "-":
+        json_path.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {json_path}")
+    return 0
+
+
+def test_benchmark_smoke():
+    """Tier-2 entry point for the pytest harness."""
+    report = run_experiment(200, seed=7)
+    assert report["bare_broken"]
+    for strategy, per_budget in report["reseats"].items():
+        breaking = report["static_breaking_budget"][strategy]
+        assert per_budget[f"budget-{breaking}"] >= 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -71,6 +71,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="persist cached cells to digest-named files in "
                             "DIR (survives restarts; large pinned outputs "
                             "spill here instead of staying in memory)")
+    serve.add_argument("--cache-gc-bytes", type=int, default=None,
+                       help="cap the persistent cache's total size; oldest "
+                            "digest files are pruned at startup and on "
+                            "write-through")
+    serve.add_argument("--cache-gc-days", type=float, default=None,
+                       help="prune persisted cells older than this many days")
     serve.add_argument("--log", default=None, metavar="PATH",
                        help="mirror progress events into a JSONL file")
     serve.add_argument("--import", dest="imports", action="append",
@@ -94,6 +100,12 @@ def build_parser() -> argparse.ArgumentParser:
                              "'clean', 'name', or 'name:{\"param\": ...}'")
     submit.add_argument("--timeout", type=float, default=None,
                         help="per-cell budget in seconds for this request")
+    submit.add_argument("--retries", type=int, default=3,
+                        help="connection attempts beyond the first on "
+                             "refused/reset (default 3; 0 disables)")
+    submit.add_argument("--retry-backoff", type=float, default=0.25,
+                        help="base seconds of the exponential retry "
+                             "backoff (deterministic jitter on top)")
     submit.add_argument("--no-stream", action="store_true",
                         help="single final reply instead of NDJSON progress")
     submit.add_argument("--quiet", action="store_true",
@@ -138,7 +150,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
     ).start()
     service = ExperimentService(
         pool,
-        CellCache(max_entries=args.cache_entries, cache_dir=args.cache_dir),
+        CellCache(
+            max_entries=args.cache_entries,
+            cache_dir=args.cache_dir,
+            gc_bytes=args.cache_gc_bytes,
+            gc_days=args.cache_gc_days,
+        ),
         default_timeout=args.timeout,
         tracer=tracer,
     )
@@ -220,7 +237,10 @@ def cmd_submit(args: argparse.Namespace) -> int:
                 file=sys.stderr, flush=True,
             )
 
-    client = ServiceClient(host=args.host, port=args.port)
+    client = ServiceClient(
+        host=args.host, port=args.port,
+        retries=args.retries, backoff=args.retry_backoff,
+    )
     try:
         reply = client.submit(request, on_event=on_event)
     except (ServiceError, ConnectionError) as exc:

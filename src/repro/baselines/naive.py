@@ -172,6 +172,57 @@ def bfs_tree_workload(root: Hashable = 0) -> type[BFSTreeLayers]:
     return type("BFSTreeLayersRooted", (BFSTreeLayers,), {"root": root})
 
 
+class GossipMaximum(VertexAlgorithm):
+    """Periodic max-label gossip: re-broadcast every ``period`` rounds.
+
+    Every vertex folds the maximum label it has heard and re-announces it
+    every ``period`` rounds until a fixed ``horizon``, then outputs and
+    halts.  Unlike the silence-based termination of :class:`FloodMinimum`,
+    the send schedule is *unconditional*: traffic flows at a constant,
+    non-saturating rate for the whole run, which is the shape of
+    self-stabilising protocols — and exactly what the robust compiler's
+    ``heal=True`` mode needs from its inner algorithm, since seat-health
+    detection convicts a replica of silence only while its group's
+    survivors are still talking.  The max-fold is order-independent, so
+    all backends agree exactly; the fixed horizon makes the round count a
+    constant, so the compiled ``round_stretch`` is a clean comparison.
+    """
+
+    horizon: int = 120
+    period: int = 4
+
+    def __init__(self, vertex: Hashable, neighbors: Iterable[Hashable], n: int):
+        super().__init__(vertex, neighbors, n)
+        self.best = vertex
+
+    def on_round(self, round_index: int, inbox: list[Message]) -> list[Message]:
+        for message in inbox:
+            if message.payload > self.best:
+                self.best = message.payload
+        if round_index >= self.horizon:
+            self.output = self.best
+            self.halt()
+            return []
+        if round_index % self.period == 0:
+            return self.send_to_all_neighbors("max", self.best)
+        return []
+
+
+def gossip_max_workload(
+    horizon: int = 120, period: int = 4
+) -> type[GossipMaximum]:
+    """A :class:`GossipMaximum` subclass with a fixed schedule."""
+    if horizon < 1:
+        raise ValueError(f"horizon must be >= 1; got {horizon}")
+    if period < 1:
+        raise ValueError(f"period must be >= 1; got {period}")
+    return type(
+        "GossipMaximumScheduled",
+        (GossipMaximum,),
+        {"horizon": horizon, "period": period},
+    )
+
+
 @dataclass
 class NaiveListingConfig:
     """Options of the cost-model naive baseline."""

@@ -47,6 +47,9 @@ class SynchronousRun:
         round_stretch: compiled-over-bare round ratio when the run came out
             of the robust compiler (:mod:`repro.robust`); ``None`` for
             ordinary runs.
+        reseats: replica re-seat count when the run came out of the robust
+            compiler's self-healing mode (``compile_robust(heal=True)``);
+            ``None`` for ordinary runs.
     """
 
     rounds: int
@@ -54,6 +57,7 @@ class SynchronousRun:
     outputs: dict[Hashable, object]
     halted: bool
     round_stretch: float | None = None
+    reseats: int | None = None
 
     def combined_output(self) -> set:
         """Union of all per-vertex outputs that are sets (listing results)."""
@@ -137,8 +141,19 @@ class CongestNetwork:
         traced = tracer.enabled
         scenario = self.scenario
         vertex_faults = self._vertex_faults
-        if vertex_faults:
+        adaptive = scenario is not None and getattr(scenario, "is_adaptive", False)
+        if vertex_faults or adaptive:
             scenario.bind_nodes(list(self.graph.nodes))
+        if adaptive:
+            # Adaptive adversaries consume per-vertex delivered counters in
+            # dense-id order (the bind_nodes order); numpy stays a local
+            # import so the pure-Python simulator keeps its stdlib footprint
+            # on non-adaptive runs.
+            import numpy as np
+
+            from repro.engine.scenarios import RoundStats
+
+            node_ids = {v: i for i, v in enumerate(self.graph.nodes)}
         # Crash-stop accumulator: once a vertex appears in the scenario's
         # faulty set it stays crashed for the rest of the run.
         crashed: set[Hashable] = set()
@@ -206,6 +221,14 @@ class CongestNetwork:
                     tracer.payload_corrupted(round_index, corrupted)
             self._enqueue(outgoing)
             delivered, words_crossed = self._deliver_one_round(round_index)
+            if adaptive:
+                # Pre-drop counts: the same delivery set the cross-backend
+                # messages_delivered tracer event reports, so every backend
+                # feeds the adversary identical observations.
+                counts = np.zeros(self.n, dtype=np.int64)
+                for message in delivered:
+                    counts[node_ids[message.receiver]] += 1
+                scenario.observe_round(RoundStats(round_index, counts))
             dropped = 0
             for message in delivered:
                 # A halted vertex never consumes its inbox again; queueing

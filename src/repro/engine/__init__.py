@@ -60,6 +60,7 @@ from repro.engine.scenarios import (
     DeliveryScenario,
     HeterogeneousBandwidthScenario,
     LinkDropScenario,
+    RoundStats,
     build_composed,
     resolve_scenario,
 )
@@ -103,6 +104,7 @@ __all__ = [
     "BurstyFaultScenario",
     "HeterogeneousBandwidthScenario",
     "ComposedScenario",
+    "RoundStats",
     "SCENARIOS",
     "build_composed",
     "resolve_scenario",

@@ -167,6 +167,29 @@ class _VertexHashMixin:
         )
 
 
+class RoundStats:
+    """One round's observed delivery traffic, fed to adaptive scenarios.
+
+    ``delivered`` holds per-vertex delivered-message counts indexed by the
+    dense vertex ids of :meth:`DeliveryScenario.bind_nodes`'s node list,
+    measured *before* halted/crashed receiver drops — the same pre-drop
+    delivery set every backend's ``messages_delivered`` tracer event
+    reports, so the feedback is bit-identical across backends.
+    """
+
+    __slots__ = ("round_index", "delivered")
+
+    def __init__(self, round_index: int, delivered: np.ndarray) -> None:
+        self.round_index = round_index
+        self.delivered = delivered
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RoundStats(round_index={self.round_index}, "
+            f"delivered_total={int(self.delivered.sum())})"
+        )
+
+
 def _probability_threshold(probability: float) -> int:
     """The integer threshold of a uniform-[0,1) draw compared against ``p``.
 
@@ -205,6 +228,12 @@ class DeliveryScenario(ABC):
     # ever act.  Backends skip the per-round fault bookkeeping entirely when
     # this stays ``False``.
     has_vertex_faults: bool = False
+    # Adaptive adversaries: whether :meth:`observe_round` carries state the
+    # scenario's later fault decisions depend on.  Backends only pay the
+    # per-round statistics feedback when this is ``True``, and the sharded
+    # backend ships the parent's fault decisions to its workers instead of
+    # letting each fork replay a stale copy.
+    is_adaptive: bool = False
     name: str = ""
     _bound_edges: list[Edge] | None = None
 
@@ -340,6 +369,20 @@ class DeliveryScenario(ABC):
         changes).  The default replays nothing and returns ``values``.
         """
         return values
+
+    def observe_round(self, stats: "RoundStats") -> None:
+        """Feed back one round's observed delivery traffic (adaptive faults).
+
+        Called by every backend after the deliveries of
+        ``stats.round_index`` have been computed (before halted/crashed
+        drops, matching the cross-backend ``messages_delivered`` tracer
+        contract), but only when ``is_adaptive`` is ``True``.  ``stats``
+        carries per-vertex delivered-message counters in dense-id order
+        (the order of :meth:`bind_nodes`'s node list), so an adaptive
+        adversary can target traffic hot spots while staying a
+        deterministic function of ``(seed, observed history)`` — identical
+        on every backend.  The default ignores the feedback.
+        """
 
     def spec_params(self) -> dict[str, Any]:
         """Constructor parameters as a plain-JSON dict (for experiment specs).
@@ -784,6 +827,7 @@ class ComposedScenario(DeliveryScenario):
         self.has_kernel = all(part.has_kernel for part in self.parts)
         self.has_link_faults = any(part.has_link_faults for part in self.parts)
         self.has_vertex_faults = any(part.has_vertex_faults for part in self.parts)
+        self.is_adaptive = any(part.is_adaptive for part in self.parts)
 
     @classmethod
     def overlay(cls, *parts: DeliveryScenario | str) -> "ComposedScenario":
@@ -859,6 +903,14 @@ class ComposedScenario(DeliveryScenario):
         return self._active(round_index).corrupt_values(
             senders, receivers, round_index, values
         )
+
+    def observe_round(self, stats: RoundStats) -> None:
+        # Adaptive parts track traffic history continuously (a sequential
+        # phase that activates later still needs the earlier observations),
+        # so feedback reaches every part in both composition modes.
+        for part in self.parts:
+            if part.is_adaptive:
+                part.observe_round(stats)
 
     def transmit_mask(
         self, edge_ids: np.ndarray, first_round: int, num_rounds: int
@@ -1043,6 +1095,7 @@ __all__ = [
     "DeliveryScenario",
     "HeterogeneousBandwidthScenario",
     "LinkDropScenario",
+    "RoundStats",
     "SCENARIOS",
     "available_scenarios",
     "build_composed",

@@ -35,6 +35,7 @@ from dataclasses import replace
 from typing import Hashable
 
 import networkx as nx
+import numpy as np
 
 from repro.congest.message import Message
 from repro.congest.metrics import CongestMetrics
@@ -45,6 +46,7 @@ from repro.engine.delivery import GraphIndex, WordScheduler, payload_words
 from repro.engine.registry import register_backend
 from repro.engine.scenarios import (
     DeliveryScenario,
+    RoundStats,
     link_projection,
     resolve_scenario,
 )
@@ -132,14 +134,23 @@ class _ShardState:
                 self.crashed.add(vertex)
 
     def step(
-        self, round_index: int, deliveries: list[Message]
+        self,
+        round_index: int,
+        deliveries: list[Message],
+        crashes: tuple = (),
     ) -> tuple[list[Message], int, list[Hashable]]:
         """Run one round; returns (outgoing, active_count, newly_halted).
 
         ``newly_halted`` lets the parent keep a global halted set so it can
         drop deliveries addressed to halted vertices before they ever cross
-        a pipe (the same rule every backend applies).
+        a pipe (the same rule every backend applies).  ``crashes`` carries
+        the parent's fault decisions for adaptive scenarios — a
+        fork-inherited scenario copy never sees the parent's observe_round
+        feedback, so the shard must not replay adaptive decisions locally.
         """
+        for vertex in crashes:
+            if vertex in self.algorithms:
+                self.crashed.add(vertex)
         self._apply_crashes(round_index)
         crashed = self.crashed
         for message in deliveries:
@@ -212,7 +223,7 @@ def _shard_worker(
         while True:
             request = conn.recv()
             if request[0] == _ROUND:
-                _, round_index, part, new_down, new_up = request
+                _, round_index, part, new_down, new_up, crashes = request
                 if new_down is not None:
                     down_reader.adopt(ColumnBlock.attach(new_down))
                 if new_up is not None:
@@ -223,7 +234,7 @@ def _shard_worker(
                 else:
                     deliveries = _unpack_messages(part[1])
                 outgoing, active, newly_halted = state.step(
-                    round_index, deliveries
+                    round_index, deliveries, crashes
                 )
                 if up_writer is not None:
                     encoded = up_writer.encode(outgoing)
@@ -275,8 +286,8 @@ class _InlineShard:
         self.initial_active = len(self.state.active)
         self.initial_halted = self.state.initial_halted
 
-    def step(self, round_index, deliveries):
-        return self.state.step(round_index, deliveries)
+    def step(self, round_index, deliveries, crashes=()):
+        return self.state.step(round_index, deliveries, crashes)
 
     def finish(self):
         return self.state.finish()
@@ -350,13 +361,15 @@ class _ProcessShard:
         old.unlink()
         return replacement.descriptor()
 
-    def begin_round(self, round_index: int, deliveries: list[Message]) -> None:
+    def begin_round(
+        self, round_index: int, deliveries: list[Message], crashes: tuple = ()
+    ) -> None:
         """Publish the round's deliveries and the go token (no reply yet)."""
         self._round = round_index
         if self.transport != "shm":
             self._conn.send(
                 (_ROUND, round_index, ("pipe", _pack_messages(deliveries)),
-                 None, None)
+                 None, None, crashes)
             )
             return
         tracer = self.tracer
@@ -392,7 +405,8 @@ class _ProcessShard:
                 arena_capacity=block.arena_capacity,
             )
         self._conn.send(
-            (_ROUND, round_index, ("shm", rows, new_tags), new_down, new_up)
+            (_ROUND, round_index, ("shm", rows, new_tags), new_down, new_up,
+             crashes)
         )
 
     def collect_round(self) -> tuple[list[Message], int, list[Hashable]]:
@@ -507,11 +521,17 @@ class ShardedBackend(Backend):
         neighbor_map = {v: tuple(graph.neighbors(v)) for v in index.nodes}
         scenario_obj = resolve_scenario(scenario)
         vertex_faults = scenario_obj.has_vertex_faults
-        if vertex_faults:
+        adaptive = scenario_obj.is_adaptive
+        if vertex_faults or adaptive:
             # Bind before forking so every shard inherits the bound caches
             # and draws the identical fault pattern.
             scenario_obj.bind_nodes(index.nodes)
-        fault_scenario = scenario_obj if vertex_faults else None
+        # Adaptive scenarios decide faults from parent-side observations a
+        # fork-inherited copy never sees: the shards get no scenario and the
+        # parent ships each round's crash decisions in the round token.
+        fault_scenario = (
+            scenario_obj if vertex_faults and not adaptive else None
+        )
         # The scheduler sees only the link component: vertex-fault-only
         # scenarios keep the clean arithmetic scheduling path.
         scheduler = WordScheduler(
@@ -583,13 +603,18 @@ class ShardedBackend(Backend):
                 if total_active == 0 and not scheduler.has_pending:
                     break
                 rounds_executed += 1
+                new_crashes: tuple = ()
                 if vertex_faults:
                     corrupted = 0
+                    newly: list = []
                     for vertex in scenario_obj.faulty_vertices(round_index):
                         if vertex not in crashed_vertices:
                             crashed_vertices.add(vertex)
+                            newly.append(vertex)
                             if traced:
                                 tracer.vertex_crashed(round_index, vertex)
+                    if adaptive and newly:
+                        new_crashes = tuple(newly)
                 words_cache.clear()
                 if traced:
                     round_start = time.perf_counter()
@@ -602,7 +627,9 @@ class ShardedBackend(Backend):
                 # shard, then wait for every shard's response.
                 for shard_id, shard in enumerate(shards):
                     if isinstance(shard, _ProcessShard):
-                        shard.begin_round(round_index, next_deliveries[shard_id])
+                        shard.begin_round(
+                            round_index, next_deliveries[shard_id], new_crashes
+                        )
                 if traced:
                     broadcast_done = time.perf_counter()
                     tracer.span_add(
@@ -628,7 +655,7 @@ class ShardedBackend(Backend):
                         if traced:
                             step_start = time.perf_counter()
                         sent, active, newly_halted = shard.step(
-                            round_index, next_deliveries[shard_id]
+                            round_index, next_deliveries[shard_id], new_crashes
                         )
                         if traced:
                             tracer.span_add(
@@ -688,6 +715,15 @@ class ShardedBackend(Backend):
                         "schedule", schedule_done - collect_done, round_index
                     )
                 delivered, words_crossed = scheduler.deliver(round_index)
+                if adaptive:
+                    # Parent-side feedback only: the parent owns delivery
+                    # and every adaptive decision, so the shards never need
+                    # (and never see) the traffic statistics.
+                    counts = np.zeros(n, dtype=np.int64)
+                    id_of = index.index
+                    for message in delivered:
+                        counts[id_of[message.receiver]] += 1
+                    scenario_obj.observe_round(RoundStats(round_index, counts))
                 dropped = 0
                 for message in delivered:
                     if message.receiver in halted_vertices or (

@@ -48,6 +48,7 @@ from repro.congest.vertex import VertexFactory
 from repro.engine.delivery import GraphIndex, WordScheduler
 from repro.engine.scenarios import (
     DeliveryScenario,
+    RoundStats,
     link_projection,
     resolve_scenario,
 )
@@ -331,7 +332,8 @@ def run_vector_algorithm(
         raise ValueError("VectorAlgorithm.halted must be a length-n bool array")
     scenario_obj = resolve_scenario(scenario)
     vertex_faults = scenario_obj.has_vertex_faults
-    if vertex_faults:
+    adaptive = scenario_obj.is_adaptive
+    if vertex_faults or adaptive:
         scenario_obj.bind_nodes(topology.nodes)
     n = topology.n
     # crashed[i]: dense vertex i is crash-stopped.  A crashed vertex's sends
@@ -459,6 +461,14 @@ def run_vector_algorithm(
             round_index
         )
         delivered_count = int(d_senders.size)
+        if adaptive:
+            # Batch kernel of the adaptive feedback: pre-drop per-receiver
+            # counts, the dense twin of the per-vertex backends' loop.
+            scenario_obj.observe_round(
+                RoundStats(
+                    round_index, np.bincount(d_receivers, minlength=n)
+                )
+            )
         if traced and tracer.record_messages and delivered_count:
             # Pre-drop record: what crossed the wire this round (the drop
             # filter below narrows the arrays in place).

@@ -20,6 +20,7 @@ from __future__ import annotations
 import time
 
 import networkx as nx
+import numpy as np
 
 from dataclasses import replace
 
@@ -30,6 +31,7 @@ from repro.engine.delivery import GraphIndex, WordScheduler, payload_words
 from repro.engine.registry import register_backend
 from repro.engine.scenarios import (
     DeliveryScenario,
+    RoundStats,
     link_projection,
     resolve_scenario,
 )
@@ -85,7 +87,8 @@ class VectorizedBackend(Backend):
         inboxes: dict = {v: [] for v in index.nodes}
         scenario_obj = resolve_scenario(scenario)
         vertex_faults = scenario_obj.has_vertex_faults
-        if vertex_faults:
+        adaptive = scenario_obj.is_adaptive
+        if vertex_faults or adaptive:
             scenario_obj.bind_nodes(index.nodes)
         crashed: set = set()
         # The scheduler sees only the link component: vertex-fault-only
@@ -170,6 +173,14 @@ class VectorizedBackend(Backend):
                     "schedule", schedule_done - compute_done, round_index
                 )
             delivered, words_crossed = scheduler.deliver(round_index)
+            if adaptive:
+                # Pre-drop per-receiver counts, identical to the reference
+                # simulator's feedback (same delivery set, same order).
+                counts = np.zeros(n, dtype=np.int64)
+                id_of = index.index
+                for message in delivered:
+                    counts[id_of[message.receiver]] += 1
+                scenario_obj.observe_round(RoundStats(round_index, counts))
             dropped = 0
             for message in delivered:
                 # Same rule as the reference simulator: a halted receiver

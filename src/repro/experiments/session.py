@@ -147,6 +147,10 @@ class RunResult:
             carry one (the robust compiler's cost measure); ``None`` for
             ordinary runs.  Deterministic (a ratio of round counts), so it
             participates in :meth:`ResultSet.digest`.
+        reseats: re-seating events performed by the robust compiler's
+            self-healing runtime (``heal=True`` runs); ``None`` otherwise.
+            Deterministic (a count of protocol events), so it participates
+            in :meth:`ResultSet.digest`.
     """
 
     spec_name: str
@@ -166,6 +170,7 @@ class RunResult:
     output_digest: str
     outputs: dict[Hashable, Any] | None = None
     round_stretch: float | None = None
+    reseats: int | None = None
     cell_index: int = 0
     timings: dict[str, float] = field(default_factory=dict)
 
@@ -230,6 +235,7 @@ class RunResult:
                 None if self.round_stretch is None
                 else round(self.round_stretch, 4)
             ),
+            "reseats": self.reseats,
             "output_digest": self.output_digest,
         }
 
@@ -556,6 +562,7 @@ class Session:
             output_digest=signature[-1],
             outputs=dict(run.outputs) if self.keep_outputs else None,
             round_stretch=getattr(run, "round_stretch", None),
+            reseats=getattr(run, "reseats", None),
             cell_index=cell_index,
             timings=timings,
         )

@@ -40,6 +40,20 @@ def bfs_tree_workload(root: Any = 0):
     return build(root)
 
 
+@register_workload("gossip-max")
+def gossip_max_workload(horizon: int = 120, period: int = 4):
+    """Periodic max-label gossip with a fixed horizon.
+
+    Constant-rate, non-saturating traffic until every vertex halts at
+    ``horizon`` — the canonical inner workload for the robust compiler's
+    self-healing mode, whose seat-health detection needs replica groups
+    that keep talking (see E20).
+    """
+    from repro.baselines.naive import gossip_max_workload as build
+
+    return build(horizon=horizon, period=period)
+
+
 @register_workload("neighborhood-exchange")
 def neighborhood_exchange_workload():
     """The naive triangle baseline: full adjacency exchange, local listing."""

@@ -1,4 +1,4 @@
-"""The shipped lint rules, REP001–REP007.
+"""The shipped lint rules, REP001–REP008.
 
 Every rule here guards an invariant that has actually been broken (or
 nearly broken) in this repo's history:
@@ -28,6 +28,11 @@ nearly broken) in this repo's history:
   and to every committed ``BENCH_*.json`` — drift the type checker
   cannot see.  Fields that are deliberately row-free must be listed in
   ``_ROW_EXCLUDED`` next to the dataclass.
+* REP008 — an adaptive scenario (one overriding ``observe_round``) that
+  forgets ``is_adaptive = True`` silently never receives traffic
+  feedback (backends only pay the per-round callback when the flag is
+  set), and one whose constructor state cannot round-trip through
+  ``spec_params()`` breaks spec replay of every adaptive cell.
 """
 
 from __future__ import annotations
@@ -51,6 +56,7 @@ __all__ = [
     "rep005_registry_hygiene",
     "rep006_tracer_hot_path",
     "rep007_digest_field_drift",
+    "rep008_adaptive_scenario_contract",
 ]
 
 
@@ -668,6 +674,7 @@ _TRACER_EVENT_METHODS = frozenset(
         "edges_blocked",
         "vertex_crashed",
         "payload_corrupted",
+        "replica_reseated",
         "messages_delivered",
         "arrays_delivered",
         "scheduler_batch",
@@ -927,3 +934,141 @@ def rep007_digest_field_drift(ctx: ModuleContext) -> Iterable[Finding]:
                             f"{target.slice.value!r} which to_row() never "
                             "emits; stale exclusion (KeyError at runtime)",
                         )
+
+
+# ---------------------------------------------------------------------------
+# REP008 — adaptive scenario contract
+# ---------------------------------------------------------------------------
+
+
+def _is_noop_method(node: ast.FunctionDef) -> bool:
+    """Docstring-and-pass-only bodies (the base-class default hook)."""
+    for statement in node.body:
+        if isinstance(statement, ast.Pass):
+            continue
+        if isinstance(statement, ast.Expr) and isinstance(
+            statement.value, ast.Constant
+        ):
+            continue  # docstring or bare `...`
+        return False
+    return True
+
+
+def _declares_is_adaptive(node: ast.ClassDef) -> bool:
+    """``is_adaptive = True`` at class level, or any ``self.is_adaptive``
+    assignment (composition wrappers compute the flag from their parts)."""
+    for item in node.body:
+        targets: list[ast.AST] = []
+        value: ast.AST | None = None
+        if isinstance(item, ast.Assign):
+            targets, value = list(item.targets), item.value
+        elif isinstance(item, ast.AnnAssign) and item.value is not None:
+            targets, value = [item.target], item.value
+        if any(
+            isinstance(target, ast.Name) and target.id == "is_adaptive"
+            for target in targets
+        ):
+            if isinstance(value, ast.Constant) and value.value is True:
+                return True
+    for item in node.body:
+        if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for sub in ast.walk(item):
+            if not isinstance(sub, (ast.Assign, ast.AnnAssign)):
+                continue
+            targets = (
+                list(sub.targets) if isinstance(sub, ast.Assign) else [sub.target]
+            )
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and target.attr == "is_adaptive"
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    return True
+    return False
+
+
+def _observed_state_attrs(node: ast.FunctionDef) -> frozenset[str]:
+    """``self.X`` attribute names assigned inside ``observe_round``."""
+    attrs: set[str] = set()
+    for sub in ast.walk(node):
+        targets: list[ast.AST] = []
+        if isinstance(sub, (ast.Assign,)):
+            targets = list(sub.targets)
+        elif isinstance(sub, (ast.AnnAssign, ast.AugAssign)):
+            targets = [sub.target]
+        for target in targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                attrs.add(target.attr)
+    return frozenset(attrs)
+
+
+@register_rule(
+    "REP008",
+    name="adaptive-scenario-contract",
+    severity="error",
+    description=(
+        "scenarios overriding observe_round() must declare is_adaptive = "
+        "True (or the feedback never fires) and keep spec_params() "
+        "constructor-only so adaptive cells replay from JSON specs"
+    ),
+)
+def rep008_adaptive_scenario_contract(ctx: ModuleContext) -> Iterable[Finding]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        observe = _method(node, "observe_round")
+        if observe is None or _is_noop_method(observe):
+            continue
+        if not _declares_is_adaptive(node):
+            yield ctx.finding(
+                "REP008",
+                node,
+                f"scenario {node.name!r} overrides observe_round() without "
+                "declaring is_adaptive = True; backends only feed traffic "
+                "statistics to scenarios with the flag set, so the override "
+                "silently never fires",
+            )
+        init = _method(node, "__init__")
+        has_params = init is not None and bool(
+            init.args.args[1:]
+            or init.args.kwonlyargs
+            or init.args.vararg
+            or init.args.kwarg
+        )
+        spec = _method(node, "spec_params")
+        if has_params and spec is None:
+            yield ctx.finding(
+                "REP008",
+                node,
+                f"adaptive scenario {node.name!r} takes constructor "
+                "parameters but does not override spec_params(); adaptive "
+                "cells cannot replay from JSON specs without it",
+            )
+        if spec is None:
+            continue
+        observed = _observed_state_attrs(observe)
+        if not observed:
+            continue
+        for sub in walk_scope(spec):
+            if (
+                isinstance(sub, ast.Attribute)
+                and isinstance(sub.ctx, ast.Load)
+                and sub.attr in observed
+                and isinstance(sub.value, ast.Name)
+                and sub.value.id == "self"
+            ):
+                yield ctx.finding(
+                    "REP008",
+                    sub,
+                    f"spec_params() of adaptive scenario {node.name!r} reads "
+                    f"'self.{sub.attr}', which observe_round() mutates; "
+                    "specs must serialise constructor state only, or replay "
+                    "diverges from the original run",
+                )

@@ -199,6 +199,23 @@ class Tracer:
             {"kind": "payload_corrupted", "round": round_index, "count": count}
         )
 
+    def replica_reseated(
+        self, round_index: int, vertex: Hashable, seated_by: Hashable
+    ) -> None:
+        """The robust compiler's self-healing path re-seated replica
+        ``vertex``: its group detected it persistently silent or
+        checksum-failing, and surviving replica ``seated_by`` shipped it a
+        strategy-encoded state snapshot over the existing bundles."""
+        self._emit(
+            {
+                "kind": "replica_reseated",
+                "round": round_index,
+                "vertex": vertex,
+                "seated_by": seated_by,
+                "ts": self._now(),
+            }
+        )
+
     def messages_delivered(self, round_index: int, messages: Sequence) -> None:
         """The round's delivered messages (pre halted-receiver drops).
 
@@ -481,6 +498,9 @@ class NullTracer(Tracer):
         pass
 
     def payload_corrupted(self, *args, **kwargs) -> None:
+        pass
+
+    def replica_reseated(self, *args, **kwargs) -> None:
         pass
 
     def messages_delivered(self, *args, **kwargs) -> None:

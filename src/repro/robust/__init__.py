@@ -10,14 +10,25 @@ The subsystem has four layers, bottom up:
   algorithm into a replicated protocol that survives the vertex faults of
 * :mod:`repro.robust.scenarios` — crash-stop and Byzantine vertex
   scenarios (registered lazily as ``crash-vertices`` /
-  ``byzantine-vertices``).
+  ``byzantine-vertices``), plus their traffic-observing adaptive
+  counterparts (``adaptive-crash`` / ``adaptive-byzantine``).
 
 The ``robust-compiled`` driver workload (:mod:`repro.robust.workload`)
 exposes the compiler to experiment specs and the E19 benchmark.
 """
 
-from repro.robust.compiler import RobustCompiled, compile_robust, replica_graph
-from repro.robust.scenarios import ByzantineVertexScenario, CrashStopVertexScenario
+from repro.robust.compiler import (
+    RobustCompiled,
+    RobustState,
+    compile_robust,
+    replica_graph,
+)
+from repro.robust.scenarios import (
+    AdaptiveByzantineScenario,
+    AdaptiveCrashScenario,
+    ByzantineVertexScenario,
+    CrashStopVertexScenario,
+)
 from repro.robust.strategies import (
     ErasureCodingStrategy,
     ReplicationStrategy,
@@ -26,11 +37,14 @@ from repro.robust.strategies import (
 )
 
 __all__ = [
+    "AdaptiveByzantineScenario",
+    "AdaptiveCrashScenario",
     "ByzantineVertexScenario",
     "CrashStopVertexScenario",
     "ErasureCodingStrategy",
     "ReplicationStrategy",
     "RobustCompiled",
+    "RobustState",
     "RobustStrategy",
     "compile_robust",
     "replica_graph",

@@ -91,6 +91,23 @@ class RobustStrategy(ABC):
     def spec_params(self) -> dict[str, Any]:
         """JSON-safe constructor parameters (content-addressing)."""
 
+    def share_valid(
+        self, payload: Any, *, sender: Hashable, tag: str, index: int
+    ) -> bool:
+        """Can this arrived payload be attributed to seat ``index`` as a
+        live, intact contribution?  The healing runtime's seat-health
+        monitor calls this per share; replication cannot authenticate a
+        lone copy, so presence counts — checksummed strategies override."""
+        return True
+
+    @property
+    def min_live(self) -> int:
+        """How many distinct seats must stay served for the group to keep
+        functioning — the healing runtime covers dead seats only down to
+        this floor, so repair bandwidth is only spent when decoding (or
+        out-voting a concurrent liar) actually needs it."""
+        return self.k
+
     def describe(self) -> str:
         params = ", ".join(f"{k}={v}" for k, v in self.spec_params().items())
         return f"{type(self).__name__}({params})"
@@ -126,6 +143,12 @@ class ReplicationStrategy(RobustStrategy):
     def spec_params(self) -> dict[str, Any]:
         return {"f": self.f}
 
+    @property
+    def min_live(self) -> int:
+        # f + 1 honest copies out-vote any <= f concurrent liars (their
+        # per-sender corruption masks differ, so lies never coordinate).
+        return self.f + 1
+
 
 class ErasureCodingStrategy(RobustStrategy):
     """``k = d + f`` checksummed code shares, any ``d`` of which decode.
@@ -143,14 +166,27 @@ class ErasureCodingStrategy(RobustStrategy):
 
     name = "erasure-coding"
 
-    def __init__(self, d: int = 2, f: int = 1):
+    _DECODE_MODES = ("full", "local")
+
+    def __init__(self, d: int = 2, f: int = 1, decode: str = "full"):
         if d < 1:
             raise ValueError(f"d must be >= 1; got {d}")
         if f < 0:
             raise ValueError(f"f must be >= 0; got {f}")
+        if decode not in self._DECODE_MODES:
+            raise ValueError(
+                f"decode must be one of {self._DECODE_MODES}; got {decode!r}"
+            )
         self.d = d
         self.f = f
         self.k = d + f
+        self.decode_mode = decode
+        # Measurement counters (instance state, never content-addressed):
+        # how many arrived shares were actually examined vs how many
+        # decode calls happened — the LDC-style ``decode="local"`` mode
+        # exists to make share_reads strictly smaller on the clean path.
+        self.share_reads = 0
+        self.decode_calls = 0
 
     def shares(self, payload: Any, *, sender: Hashable, tag: str) -> list[Any]:
         chunks = encode_shares(encode_payload(payload), self.d, self.f)
@@ -159,29 +195,68 @@ class ErasureCodingStrategy(RobustStrategy):
             for index, chunk in enumerate(chunks)
         ]
 
+    def _validate_share(
+        self,
+        index: int,
+        payload: Any,
+        width: int | None,
+        *,
+        sender: Hashable,
+        tag: str,
+    ) -> list[int] | None:
+        if not 0 <= index < self.k:
+            return None
+        if (
+            type(payload) is not tuple
+            or len(payload) < 2
+            or any(type(symbol) is not int for symbol in payload)
+        ):
+            return None
+        checksum, chunk = payload[0], list(payload[1:])
+        if any(not 0 <= symbol < (1 << 16) for symbol in chunk):
+            return None
+        if checksum != share_checksum(sender, tag, index, chunk):
+            return None
+        if width is not None and len(chunk) != width:
+            return None
+        return chunk
+
+    def share_valid(
+        self, payload: Any, *, sender: Hashable, tag: str, index: int
+    ) -> bool:
+        return (
+            self._validate_share(index, payload, None, sender=sender, tag=tag)
+            is not None
+        )
+
     def decode(
         self, entries: list[tuple[int, Any]], *, sender: Hashable, tag: str
     ) -> tuple[bool, Any]:
+        self.decode_calls += 1
+        local = self.decode_mode == "local"
+        if local:
+            # LDC-style local decoding: examine shares in deterministic
+            # index order and stop at the first d that verify.  A share
+            # failing its checksum simply extends the scan — the full
+            # reconstruction fallback is the natural continuation of the
+            # same loop, so the clean path reads exactly d shares while
+            # the faulty path degrades to the full-mode scan.
+            entries = sorted(entries, key=lambda entry: entry[0])
         valid: dict[int, list[int]] = {}
         width: int | None = None
         for index, payload in entries:
-            if index in valid or not 0 <= index < self.k:
+            if local and len(valid) >= self.d:
+                break
+            if index in valid:
                 continue
-            if (
-                type(payload) is not tuple
-                or len(payload) < 2
-                or any(type(symbol) is not int for symbol in payload)
-            ):
-                continue
-            checksum, chunk = payload[0], list(payload[1:])
-            if any(not 0 <= symbol < (1 << 16) for symbol in chunk):
-                continue
-            if checksum != share_checksum(sender, tag, index, chunk):
+            self.share_reads += 1
+            chunk = self._validate_share(
+                index, payload, width, sender=sender, tag=tag
+            )
+            if chunk is None:
                 continue
             if width is None:
                 width = len(chunk)
-            elif len(chunk) != width:
-                continue
             valid[index] = chunk
         if len(valid) < self.d:
             return False, None
@@ -193,8 +268,19 @@ class ErasureCodingStrategy(RobustStrategy):
         except CodecError:
             return False, None
 
+    @property
+    def min_live(self) -> int:
+        # Any d intact shares reconstruct; checksums already erase lies.
+        return self.d
+
     def spec_params(self) -> dict[str, Any]:
-        return {"d": self.d, "f": self.f}
+        params: dict[str, Any] = {"d": self.d, "f": self.f}
+        # Only widen the content-addressed identity when the non-default
+        # mode is in play, so every pre-existing erasure-coding cell keeps
+        # its cached digest.
+        if self.decode_mode != "full":
+            params["decode"] = self.decode_mode
+        return params
 
 
 _STRATEGIES = {

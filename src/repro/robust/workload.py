@@ -27,6 +27,8 @@ def robust_compiled_workload(
     inner: str = "flood-min",
     strategy: str = "replication",
     inner_params: dict[str, Any] | None = None,
+    heal: bool = False,
+    heal_window: int = 3,
     **strategy_params: Any,
 ):
     """Run a named vertex workload through :func:`compile_robust`.
@@ -34,11 +36,13 @@ def robust_compiled_workload(
     ``inner`` names a registered *vertex* workload (``flood-min``,
     ``bfs-tree``, ...); ``strategy`` and ``strategy_params`` pick the
     redundancy scheme (``replication`` / ``erasure-coding`` with ``f``,
-    ``d``).  The cell's scenario — typically ``crash-vertices`` or
-    ``byzantine-vertices`` — applies to the *replicated* execution; the
-    returned rounds are the physical rounds, the outputs the decoded
-    logical outputs, and ``round_stretch`` lands on the run for the
-    result table.
+    ``d``, and optionally ``decode="local"``), while ``heal`` /
+    ``heal_window`` arm the self-healing runtime.  The cell's scenario —
+    typically ``crash-vertices`` / ``adaptive-crash`` or a Byzantine
+    variant — applies to the *replicated* execution; the returned rounds
+    are the physical rounds, the outputs the decoded logical outputs, and
+    ``round_stretch`` (plus ``reseats`` under healing) lands on the run
+    for the result table.
     """
     params = dict(inner_params or {})
 
@@ -56,7 +60,13 @@ def robust_compiled_workload(
                 f"robust-compiled wraps vertex workloads only; "
                 f"{inner!r} is a {builder.kind} workload"
             )
-        compiled = compile_robust(builder(**params), strategy=strategy, **strategy_params)
+        compiled = compile_robust(
+            builder(**params),
+            strategy=strategy,
+            heal=heal,
+            heal_window=heal_window,
+            **strategy_params,
+        )
         return compiled.run(
             graph,
             backend=backend,

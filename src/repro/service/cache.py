@@ -28,6 +28,14 @@ results whose ``outputs`` pickle beyond ``spill_bytes`` keep only an
 outputs-free stub in the memory LRU, and the full result is re-read from
 disk on demand — a thousand-cell server does not hold a thousand listing
 outputs in RAM because one client asked to keep them.
+
+The persistent store is garbage-collected, not append-only: ``gc_bytes``
+caps its total size and ``gc_days`` its entry age, enforced at startup and
+on write-through by deleting the oldest digest files first (LRU by file
+mtime — a disk hit does not refresh age, so GC measures *write* recency,
+matching the content-addressed model where a re-executed cell is re-put).
+A GC'd entry is simply a future disk miss: the digest re-executes and
+re-persists, so pruning trades recompute time for disk, never correctness.
 """
 
 from __future__ import annotations
@@ -35,8 +43,9 @@ from __future__ import annotations
 import os
 import pickle
 import threading
+import time
 from collections import OrderedDict
-from dataclasses import replace
+from dataclasses import fields, replace
 from pathlib import Path
 from typing import Any
 
@@ -58,6 +67,11 @@ class CellCache:
         spill_bytes: results whose pinned ``outputs`` pickle larger than
             this hold only an outputs-free stub in memory (full result on
             disk).  Requires ``cache_dir``; ``None`` disables spilling.
+        gc_bytes: cap the persistent store's total size — the oldest
+            digest files (by mtime) are deleted until the directory fits
+            (``None`` = unbounded).  Requires ``cache_dir``.
+        gc_days: delete persisted entries older than this many days
+            (``None`` = keep forever).  Requires ``cache_dir``.
     """
 
     def __init__(
@@ -65,14 +79,22 @@ class CellCache:
         max_entries: int | None = None,
         cache_dir: str | Path | None = None,
         spill_bytes: int | None = DEFAULT_SPILL_BYTES,
+        gc_bytes: int | None = None,
+        gc_days: float | None = None,
     ):
         if max_entries is not None and max_entries < 1:
             raise ValueError(f"max_entries must be >= 1; got {max_entries}")
         if spill_bytes is not None and spill_bytes < 0:
             raise ValueError(f"spill_bytes must be >= 0; got {spill_bytes}")
+        if gc_bytes is not None and gc_bytes < 0:
+            raise ValueError(f"gc_bytes must be >= 0; got {gc_bytes}")
+        if gc_days is not None and gc_days <= 0:
+            raise ValueError(f"gc_days must be > 0; got {gc_days}")
         self.max_entries = max_entries
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.spill_bytes = spill_bytes
+        self.gc_bytes = gc_bytes
+        self.gc_days = gc_days
         self._entries: OrderedDict[str, RunResult] = OrderedDict()
         self._spilled: set[str] = set()
         self._lock = threading.Lock()
@@ -82,6 +104,15 @@ class CellCache:
         self.dedup_hits = 0
         self.disk_hits = 0
         self.spills = 0
+        self.gc_evictions = 0
+        # Running size estimate of the persistent store; a full rescan
+        # happens inside _gc(), so drift (external deletes) self-corrects.
+        self._disk_bytes = 0
+        if self.cache_dir is not None and (
+            self.gc_bytes is not None or self.gc_days is not None
+        ):
+            with self._lock:
+                self._gc()
 
     # -- the on-disk store ---------------------------------------------------
 
@@ -110,7 +141,13 @@ class CellCache:
             # A torn or foreign file is a miss, never a crash; the next
             # put() overwrites it atomically.
             return None
-        return entry if isinstance(entry, RunResult) else None
+        if not isinstance(entry, RunResult):
+            return None
+        if any(not hasattr(entry, f.name) for f in fields(RunResult)):
+            # A pickle from before a RunResult field was added would crash
+            # to_row(); treat the stale schema as a miss and re-execute.
+            return None
+        return entry
 
     def _disk_store(self, digest: str, result: RunResult) -> bool:
         path = self._disk_path(digest)
@@ -121,13 +158,57 @@ class CellCache:
             tmp = path.with_name(
                 f"{path.name}.tmp-{os.getpid()}-{threading.get_ident()}"
             )
-            tmp.write_bytes(pickle.dumps(result, protocol=4))
+            blob = pickle.dumps(result, protocol=4)
+            tmp.write_bytes(blob)
             os.replace(tmp, path)
+            self._disk_bytes += len(blob)
             return True
         except (OSError, pickle.PickleError):
             # Unpicklable outputs or a read-only directory degrade to a
             # memory-only entry rather than failing the submission.
             return False
+
+    def _gc(self) -> None:
+        """Prune the persistent store to ``gc_bytes`` / ``gc_days``.
+
+        Oldest-first by mtime; the freshly written entry is naturally the
+        youngest, so write-through GC never deletes what it just stored
+        (unless that single entry alone exceeds the byte budget).  Callers
+        hold ``_lock``.
+        """
+        if self.cache_dir is None:
+            return
+        try:
+            entries = [
+                (stat.st_mtime, stat.st_size, path)
+                for path in self.cache_dir.glob("*.pkl")
+                if (stat := path.stat()) is not None
+            ]
+        except OSError:
+            return
+        entries.sort()
+        total = sum(size for _, size, _ in entries)
+        cutoff = (
+            time.time() - self.gc_days * 86400.0
+            if self.gc_days is not None
+            else None
+        )
+        kept = 0
+        for mtime, size, path in entries:
+            expired = cutoff is not None and mtime < cutoff
+            over_budget = self.gc_bytes is not None and total > self.gc_bytes
+            if not expired and not over_budget:
+                kept += size
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                kept += size
+                continue
+            total -= size
+            self.gc_evictions += 1
+            self._spilled.discard(path.stem)
+        self._disk_bytes = kept
 
     # -- the public surface --------------------------------------------------
 
@@ -167,6 +248,14 @@ class CellCache:
         with self._lock:
             persisted = self._disk_store(digest, result)
             self._insert(digest, result, persisted=persisted)
+            if persisted and (
+                self.gc_days is not None
+                or (
+                    self.gc_bytes is not None
+                    and self._disk_bytes > self.gc_bytes
+                )
+            ):
+                self._gc()
 
     def _insert(self, digest: str, result: RunResult, *, persisted: bool) -> None:
         entry = result
@@ -223,6 +312,7 @@ class CellCache:
                 "dedup_hits": self.dedup_hits,
                 "disk_hits": self.disk_hits,
                 "spills": self.spills,
+                "gc_evictions": self.gc_evictions,
                 "cache_dir": (
                     str(self.cache_dir) if self.cache_dir is not None else None
                 ),

@@ -10,8 +10,10 @@ before it goes to the ``on_event`` callback.
 
 from __future__ import annotations
 
+import hashlib
 import http.client
 import json
+import time
 from typing import Any, Callable
 
 from repro.service.protocol import SubmitRequest
@@ -31,23 +33,59 @@ class ServiceClient:
     Each call opens its own connection — the server closes the socket at
     the end of every reply (``Connection: close``), which is also what
     delimits a progress stream.
+
+    ``retries`` arms bounded retry on connection refused/reset (a server
+    still starting up, or restarting between requests): exponential
+    backoff from ``backoff`` seconds with deterministic jitter — a
+    blake2b hash of ``host:port:attempt`` rather than the banned
+    :mod:`random` module, so two clients hammering the same server
+    desynchronise while any single client's delay schedule is exactly
+    reproducible.  Submissions are content-addressed on the server, so a
+    retried submit is idempotent: re-running a cell the first attempt
+    already executed is answered from the cell cache.
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8321,
-                 timeout: float | None = None):
+                 timeout: float | None = None, retries: int = 0,
+                 backoff: float = 0.25):
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0; got {retries}")
+        if backoff < 0:
+            raise ValueError(f"backoff must be >= 0; got {backoff}")
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+
+    def _retry_delay(self, attempt: int) -> float:
+        seed = f"{self.host}:{self.port}:{attempt}".encode("utf-8")
+        digest = hashlib.blake2b(seed, digest_size=8).digest()
+        jitter = int.from_bytes(digest, "big") / 2.0**64
+        return self.backoff * (2.0**attempt) * (1.0 + 0.5 * jitter)
 
     def _request(
         self, method: str, path: str, body: bytes | None = None
     ) -> http.client.HTTPResponse:
-        conn = http.client.HTTPConnection(
-            self.host, self.port, timeout=self.timeout
-        )
         headers = {"Content-Type": "application/json"} if body else {}
-        conn.request(method, path, body=body, headers=headers)
-        return conn.getresponse()
+        attempt = 0
+        while True:
+            conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                return conn.getresponse()
+            except (ConnectionRefusedError, ConnectionResetError):
+                # RemoteDisconnected subclasses ConnectionResetError, so a
+                # server that accepted and dropped the socket retries too.
+                # A reset *mid-stream* (after the response arrived) does
+                # not: progress was already observed, surface it.
+                conn.close()
+                if attempt >= self.retries:
+                    raise
+                time.sleep(self._retry_delay(attempt))
+                attempt += 1
 
     @staticmethod
     def _json(response: http.client.HTTPResponse) -> dict[str, Any]:

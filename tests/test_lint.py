@@ -39,7 +39,7 @@ class TestRegistry:
     def test_all_shipped_rules_registered(self):
         assert {
             "REP001", "REP002", "REP003", "REP004", "REP005", "REP006",
-            "REP007",
+            "REP007", "REP008",
         } <= set(RULES)
 
     def test_rules_have_severity_and_description(self):
@@ -637,6 +637,75 @@ class TestRep007DigestFieldDrift:
             "outputs: dict | None = None\n        _scratch: int = 0",
         )
         assert self.rep007(good) == []
+
+
+class TestRep008AdaptiveScenarioContract:
+    """observe_round() overriders must be flagged adaptive and replayable."""
+
+    SCENARIO_PATH = "src/repro/engine/_fixture.py"
+
+    GOOD = """
+    class AdaptiveCrash:
+        is_adaptive = True
+
+        def __init__(self, max_faulty=1):
+            self.max_faulty = max_faulty
+            self._traffic = {}
+
+        def observe_round(self, stats):
+            self._traffic = stats.words_by_vertex
+
+        def spec_params(self):
+            return {"max_faulty": self.max_faulty}
+    """
+
+    def rep008(self, source):
+        return findings_for(source, rule="REP008", relpath=self.SCENARIO_PATH)
+
+    def test_clean_adaptive_scenario(self):
+        assert self.rep008(self.GOOD) == []
+
+    def test_missing_is_adaptive_flag(self):
+        # The silent failure mode the rule exists for: without the flag,
+        # backends never feed traffic stats and the override is dead code.
+        bad = self.GOOD.replace("        is_adaptive = True\n\n", "")
+        found = self.rep008(bad)
+        assert len(found) == 1 and "is_adaptive" in found[0].message
+
+    def test_self_assigned_flag_counts(self):
+        good = self.GOOD.replace(
+            "        is_adaptive = True\n\n", ""
+        ).replace(
+            "self.max_faulty = max_faulty",
+            "self.max_faulty = max_faulty\n            self.is_adaptive = True",
+        )
+        assert self.rep008(good) == []
+
+    def test_parameterised_scenario_without_spec_params(self):
+        bad = self.GOOD.replace(
+            "\n        def spec_params(self):\n"
+            "            return {\"max_faulty\": self.max_faulty}\n", "\n"
+        )
+        found = self.rep008(bad)
+        assert len(found) == 1 and "spec_params" in found[0].message
+
+    def test_spec_params_reading_observed_state(self):
+        # Serialising mid-run adversary state would make a JSON replay
+        # start from a different decision history than the original run.
+        bad = self.GOOD.replace(
+            'return {"max_faulty": self.max_faulty}',
+            'return {"max_faulty": self.max_faulty, "t": self._traffic}',
+        )
+        found = self.rep008(bad)
+        assert len(found) == 1 and "_traffic" in found[0].message
+
+    def test_noop_base_class_hook_is_ignored(self):
+        good = """
+        class DeliveryScenario:
+            def observe_round(self, stats):
+                \"\"\"Default hook: oblivious scenarios ignore traffic.\"\"\"
+        """
+        assert self.rep008(good) == []
 
 
 class TestRepoIsClean:

@@ -237,6 +237,132 @@ class TestCellCachePersistence:
         assert restarted.stats()["misses"] == 0
 
 
+class TestCellCacheGc:
+    """The persistent store's garbage collector: size and age budgets."""
+
+    def _entry_size(self, tmp_path):
+        CellCache(cache_dir=tmp_path / "probe").put("aa11", _row())
+        return (tmp_path / "probe" / "aa11.pkl").stat().st_size
+
+    def test_startup_gc_prunes_oldest_beyond_byte_budget(self, tmp_path):
+        import os
+
+        writer = CellCache(cache_dir=tmp_path)
+        for index, digest in enumerate(("old1", "old2", "new3")):
+            writer.put(digest, _row(seed=index))
+            os.utime(tmp_path / f"{digest}.pkl", (100.0 * (index + 1),) * 2)
+        size = (tmp_path / "new3.pkl").stat().st_size
+        restarted = CellCache(cache_dir=tmp_path, gc_bytes=size)
+        assert restarted.gc_evictions == 2
+        assert sorted(p.name for p in tmp_path.glob("*.pkl")) == ["new3.pkl"]
+        assert restarted.get("new3") is not None
+        assert restarted.get("old1") is None  # pruned -> future re-execute
+
+    def test_startup_gc_prunes_expired_entries(self, tmp_path):
+        import os
+
+        writer = CellCache(cache_dir=tmp_path)
+        writer.put("stale", _row(seed=1))
+        writer.put("fresh", _row(seed=2))
+        week_ago = __import__("time").time() - 7 * 86400.0
+        os.utime(tmp_path / "stale.pkl", (week_ago, week_ago))
+        restarted = CellCache(cache_dir=tmp_path, gc_days=1.0)
+        assert restarted.gc_evictions == 1
+        assert restarted.get("stale") is None
+        assert restarted.get("fresh").seed == 2
+
+    def test_write_through_gc_keeps_the_entry_just_stored(self, tmp_path):
+        import os
+
+        size = self._entry_size(tmp_path)
+        cache = CellCache(cache_dir=tmp_path, gc_bytes=size)
+        cache.put("first", _row(seed=1))
+        os.utime(tmp_path / "first.pkl", (100.0, 100.0))
+        cache.put("second", _row(seed=2))
+        assert cache.gc_evictions >= 1
+        assert not (tmp_path / "first.pkl").exists()
+        assert (tmp_path / "second.pkl").exists()
+        # The memory LRU still serves the pruned digest; only a restarted
+        # server pays the re-execution.
+        assert cache.get("first") is not None
+        assert CellCache(cache_dir=tmp_path).get("first") is None
+
+    def test_gc_evictions_surface_in_stats(self, tmp_path):
+        import os
+
+        writer = CellCache(cache_dir=tmp_path)
+        writer.put("gone", _row())
+        os.utime(tmp_path / "gone.pkl", (100.0, 100.0))
+        restarted = CellCache(cache_dir=tmp_path, gc_days=1.0)
+        assert restarted.stats()["gc_evictions"] == 1
+
+    def test_stale_schema_pickle_is_a_miss(self, tmp_path):
+        # A pickle persisted before a default-less RunResult field existed
+        # must not resurface and crash to_row(); it re-executes.  (Fields
+        # added *with* a default — reseats — stay readable through the
+        # class default, so old stores keep their value across upgrades.)
+        import pickle
+
+        entry = _row(seed=5)
+        del entry.__dict__["rounds"]
+        (tmp_path / "ag3d.pkl").write_bytes(pickle.dumps(entry, protocol=4))
+        cache = CellCache(cache_dir=tmp_path)
+        assert cache.get("ag3d") is None
+        assert cache.stats()["misses"] == 1
+        cache.put("ag3d", _row(seed=6))
+        assert CellCache(cache_dir=tmp_path).get("ag3d").seed == 6
+
+    def test_gc_parameters_are_validated(self):
+        with pytest.raises(ValueError, match="gc_bytes"):
+            CellCache(gc_bytes=-1)
+        with pytest.raises(ValueError, match="gc_days"):
+            CellCache(gc_days=0)
+
+
+class TestClientRetry:
+    """Bounded reconnect with deterministic backoff in ServiceClient."""
+
+    def test_refused_connection_retries_then_raises(self, monkeypatch):
+        import repro.service.client as client_mod
+
+        sleeps = []
+        monkeypatch.setattr(client_mod.time, "sleep", sleeps.append)
+        client = ServiceClient(port=1, retries=2, backoff=0.25)
+        with pytest.raises(ConnectionRefusedError):
+            client.healthz()
+        assert len(sleeps) == 2  # initial attempt + 2 retries
+        # Exponential: the second delay is twice the first's base.
+        assert sleeps[1] > sleeps[0]
+
+    def test_zero_retries_fails_fast(self, monkeypatch):
+        import repro.service.client as client_mod
+
+        sleeps = []
+        monkeypatch.setattr(client_mod.time, "sleep", sleeps.append)
+        with pytest.raises(ConnectionRefusedError):
+            ServiceClient(port=1).healthz()
+        assert sleeps == []
+
+    def test_backoff_schedule_is_deterministic_per_endpoint(self):
+        a = ServiceClient(port=1, retries=3, backoff=0.25)
+        b = ServiceClient(port=1, retries=3, backoff=0.25)
+        other = ServiceClient(port=2, retries=3, backoff=0.25)
+        schedule = [a._retry_delay(i) for i in range(3)]
+        assert schedule == [b._retry_delay(i) for i in range(3)]
+        # Distinct endpoints desynchronise (different jitter), and every
+        # delay sits in the [base, 1.5 * base] jitter band.
+        assert schedule != [other._retry_delay(i) for i in range(3)]
+        for attempt, delay in enumerate(schedule):
+            base = 0.25 * 2.0**attempt
+            assert base <= delay <= 1.5 * base
+
+    def test_retry_parameters_are_validated(self):
+        with pytest.raises(ValueError, match="retries"):
+            ServiceClient(retries=-1)
+        with pytest.raises(ValueError, match="backoff"):
+            ServiceClient(backoff=-0.1)
+
+
 class TestSessionCache:
     def test_grid_replays_from_cache_with_identical_digest(self):
         spec = make_spec()
